@@ -1,0 +1,66 @@
+"""Benchmarks regenerating the paper's figures (2, 6, 8, 9, 10, 11, 12)."""
+
+from repro.evaluation import fig2, fig6, fig8, fig9, fig10, fig11, fig12
+
+
+def test_fig2_operator_variant_ablation(benchmark, save_result):
+    result = benchmark.pedantic(fig2.run, rounds=1, iterations=1)
+    save_result("fig2", result)
+    # Disabling Karatsuba on the lowest level must not be worse than all-Karatsuba
+    # on the single-issue memory-bound pipeline (the paper's observation).
+    by_name = {entry["config"]: entry for entry in result["series"]}
+    assert by_name["karat-wo-p2"]["normalized_cycles"] <= 1.02
+    assert by_name["manual"]["normalized_cycles"] <= 1.02
+
+
+def test_fig6_area_breakdown(benchmark, save_result):
+    result = benchmark.pedantic(fig6.run, rounds=1, iterations=1)
+    save_result("fig6", result)
+    one = result["breakdowns"]["1-core"]
+    eight = result["breakdowns"]["8-core"]
+    assert one["imem"] > 0.3                     # IMem dominates the single core
+    assert eight["imem"] < 0.25                  # ... and amortises across cores
+    assert result["area_scale_factor_8core"] < 8
+
+
+def test_fig8_scalability(benchmark, save_result):
+    result = benchmark.pedantic(fig8.run, rounds=1, iterations=1)
+    save_result("fig8", result)
+    rows = sorted(result["rows"], key=lambda row: row["k_log_p"])
+    assert rows[-1]["delay_us"] > rows[0]["delay_us"]
+    # Area grows clearly sub-quadratically in k*log p.
+    assert result["area_growth_exponent_vs_klogp"] < 1.8
+
+
+def test_fig9_issue_queue(benchmark, save_result):
+    result = benchmark.pedantic(fig9.run, rounds=1, iterations=1)
+    save_result("fig9", result)
+    for row in result["rows"]:
+        assert row["after_occupancy"] > row["before_occupancy"]
+        assert row["after_cycles"] < row["before_cycles"]
+
+
+def test_fig10_design_space_search(benchmark, save_result):
+    result = benchmark.pedantic(fig10.run, rounds=1, iterations=1)
+    save_result("fig10", result)
+    for row in result["rows"]:
+        assert row["results"]["optimal"] <= min(
+            row["results"]["all-karatsuba"], row["results"]["all-schoolbook"]
+        )
+
+
+def test_fig11_alu_family_codesign(benchmark, save_result):
+    result = benchmark.pedantic(fig11.run, rounds=1, iterations=1)
+    save_result("fig11", result)
+    rows = result["rows"]
+    assert rows[0]["critical_path_ns"] > rows[-1]["critical_path_ns"] * 0.99
+    assert rows[0]["ipc"] >= rows[-1]["ipc"]
+    assert result["optimal_long_latency"] >= 26
+
+
+def test_fig12_quad_core_chip(benchmark, save_result):
+    result = benchmark.pedantic(fig12.run, rounds=1, iterations=1)
+    save_result("fig12", result)
+    summary = result["summary"]
+    assert summary["n_cores"] == 4
+    assert summary["pairing_throughput_kops"] > 0

@@ -1,0 +1,41 @@
+"""Benchmarks regenerating the paper's tables (2, 3, 5, 6, 7)."""
+
+from repro.evaluation import table2, table3, table5, table6, table7
+
+
+def test_table2_curve_parameters(benchmark, save_result):
+    result = benchmark.pedantic(table2.run, rounds=1, iterations=1)
+    save_result("table2", result)
+    assert len(result["rows"]) >= 3
+
+
+def test_table3_operation_costs(benchmark, save_result):
+    result = benchmark.pedantic(table3.run, rounds=1, iterations=1)
+    save_result("table3", result)
+    assert any(row["variant"] == "karatsuba" for row in result["rows"])
+
+
+def test_table5_variant_listing(benchmark, save_result):
+    result = benchmark.pedantic(table5.run, rounds=1, iterations=1)
+    save_result("table5", result)
+    assert len(result["rows"]) >= 6
+
+
+def test_table6_accelerator_comparison(benchmark, save_result):
+    result = benchmark.pedantic(table6.run, rounds=1, iterations=1)
+    save_result("table6", result)
+    summary = result["summary"]
+    # Shape of the headline claims: we beat the flexible FPGA framework by a large
+    # factor and the fixed-function ASIC (65 nm-normalised) in area efficiency.
+    assert summary["throughput_gain_vs_flexipair"] > 5
+    assert summary["slice_efficiency_gain_vs_flexipair"] > 1.5
+    assert summary["area_efficiency_gain_vs_ikeda_65nm"] > 1.0
+
+
+def test_table7_compilation_strategies(benchmark, save_result):
+    result = benchmark.pedantic(table7.run, rounds=1, iterations=1)
+    save_result("table7", result)
+    for row in result["rows"]:
+        assert row["opt_instructions"] < row["init_instructions"]
+        assert row["ipc_hw1"] > row["ipc_init"]
+        assert row["ipc_hw2"] >= row["ipc_hw1"]

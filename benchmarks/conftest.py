@@ -1,0 +1,46 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one table or figure of the paper through the
+evaluation harness (``repro.evaluation``).  Heavy experiments honour the
+``FINESSE_BENCH_SCALE`` environment variable (``full`` / ``reduced`` / ``smoke``,
+default ``reduced``): the reduced scale keeps every series and every comparison
+of the paper but substitutes the small BLS24 test curve for BLS24-509 in the
+two design-space sweeps that would otherwise recompile the largest curve many
+times in pure Python.  See EXPERIMENTS.md for the scale used for the shipped
+numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+import pytest
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        sys.path.insert(0, _SRC)
+
+RESULTS_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    os.makedirs(RESULTS_PATH, exist_ok=True)
+    return RESULTS_PATH
+
+
+@pytest.fixture(scope="session")
+def save_result(results_dir):
+    """Persist each experiment's structured output next to the benchmark run."""
+
+    def _save(name: str, payload: dict) -> None:
+        path = os.path.join(results_dir, f"{name}.json")
+        with open(path, "w") as handle:
+            json.dump(json.loads(json.dumps(payload, default=str)), handle, indent=2)
+
+    return _save

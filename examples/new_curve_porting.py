@@ -1,0 +1,49 @@
+"""Agility demo: port a brand-new pairing curve end-to-end in minutes.
+
+This is the "For Pairing Researchers" scenario of Section 4.5: starting from
+nothing but a target bit-width, the framework searches a fresh BLS12 seed,
+instantiates the curve (tower, twist, generators, final-exponentiation plan),
+verifies the pairing algebraically, and compiles + simulates an accelerator for
+it -- no manual operator decomposition, scheduling or control-signal work.
+"""
+
+import random
+import time
+
+from repro.compiler.pipeline import compile_pairing
+from repro.curves.catalog import CurveSpec, build_curve
+from repro.curves.families import BLS12_FAMILY
+from repro.curves.search import find_seed
+from repro.pairing.ate import optimal_ate_pairing
+
+
+def main() -> int:
+    start = time.perf_counter()
+
+    # 1. Find a fresh 16-bit seed for a small BLS12 curve (p around 90 bits).
+    candidate = find_seed(BLS12_FAMILY, seed_bits=16, max_terms=4)
+    print(f"found seed u = {candidate.u} = {candidate.describe()}")
+
+    # 2. Instantiate the full curve: tower, twist selection, generators, plans.
+    spec = CurveSpec("BLS12-custom", "BLS12", candidate.u, "searched by this example", toy=True)
+    curve = build_curve(spec)
+    print("curve:", curve.describe())
+
+    # 3. Algebraic validation of the pairing on the new curve.
+    rng = random.Random(1)
+    P, Q = curve.random_g1(rng), curve.random_g2(rng)
+    e = optimal_ate_pairing(curve, P, Q)
+    a = rng.randrange(2, curve.r)
+    assert optimal_ate_pairing(curve, P.scalar_mul(a), Q) == e ** a
+    print("pairing on the new curve is bilinear and non-degenerate:", not e.is_one())
+
+    # 4. Compile an accelerator for it and report the architectural feedback.
+    result = compile_pairing(curve)
+    print("accelerator feedback:", result.describe())
+
+    print(f"total porting time: {time.perf_counter() - start:.1f} s")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

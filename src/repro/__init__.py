@@ -1,0 +1,42 @@
+"""Finesse reproduction: agile SW/HW co-design framework for pairing-based cryptography.
+
+The package is organised as a stack of subsystems mirroring the paper:
+
+* :mod:`repro.nt` / :mod:`repro.fields` / :mod:`repro.curves` / :mod:`repro.pairing`
+  -- the cryptographic substrate (operator kit, curves, golden optimal-Ate pairing).
+* :mod:`repro.ir` / :mod:`repro.isa` / :mod:`repro.hw`
+  -- the abstraction system (IR, ISA, hardware pipeline/area/timing models).
+* :mod:`repro.compiler` / :mod:`repro.sim`
+  -- the compilation pipeline and the functional / cycle-accurate simulators.
+* :mod:`repro.dse` / :mod:`repro.baselines` / :mod:`repro.evaluation`
+  -- design-space exploration, published baselines and the experiment harness.
+
+The most common entry points are re-exported here.
+"""
+
+from repro.compiler.pipeline import CompilerPipeline, compile_pairing
+from repro.curves.catalog import get_curve, list_curves
+from repro.fields.variants import VariantConfig
+from repro.hw.model import HardwareModel
+from repro.hw.presets import default_model, paper_hw1, paper_hw2
+from repro.pairing.ate import optimal_ate_pairing
+from repro.sim.cycle import CycleAccurateSimulator
+from repro.sim.functional import FunctionalSimulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "get_curve",
+    "list_curves",
+    "optimal_ate_pairing",
+    "CompilerPipeline",
+    "compile_pairing",
+    "VariantConfig",
+    "HardwareModel",
+    "default_model",
+    "paper_hw1",
+    "paper_hw2",
+    "FunctionalSimulator",
+    "CycleAccurateSimulator",
+    "__version__",
+]

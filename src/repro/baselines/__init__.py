@@ -1,0 +1,18 @@
+"""Published baseline accelerators used for the Table 6 comparison."""
+
+from repro.baselines.published import (
+    PublishedAccelerator,
+    FLEXIPAIR_FPGA,
+    IKEDA_ASIC,
+    all_baselines,
+)
+from repro.baselines.models import FlexiPairModel, IkedaAsicModel
+
+__all__ = [
+    "PublishedAccelerator",
+    "FLEXIPAIR_FPGA",
+    "IKEDA_ASIC",
+    "all_baselines",
+    "FlexiPairModel",
+    "IkedaAsicModel",
+]

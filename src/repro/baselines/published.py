@@ -1,0 +1,82 @@
+"""Published metrics of the baseline accelerators (Table 6 of the paper).
+
+Neither FlexiPair [17] nor the Ikeda et al. ASIC engine [10] is publicly
+runnable, so -- exactly as the paper does -- the comparison uses their published
+numbers.  The behavioural cost models in :mod:`repro.baselines.models` are
+calibrated against these figures for what-if analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PublishedAccelerator:
+    """One externally-published accelerator datapoint."""
+
+    name: str
+    reference: str
+    platform: str
+    curve: str
+    frequency_mhz: float
+    cycles: int
+    latency_us: float
+    #: FPGA resource (slices) or ASIC area (mm^2), with the unit recorded separately.
+    area_value: float
+    area_unit: str
+    throughput_ops: float
+    flexible: bool
+
+    @property
+    def throughput_per_area(self) -> float:
+        return self.throughput_ops / self.area_value
+
+    def describe(self) -> dict:
+        return {
+            "name": self.name,
+            "platform": self.platform,
+            "curve": self.curve,
+            "frequency_mhz": self.frequency_mhz,
+            "cycles": self.cycles,
+            "latency_us": self.latency_us,
+            "area": f"{self.area_value} {self.area_unit}",
+            "throughput_ops": self.throughput_ops,
+            "throughput_per_area": round(self.throughput_per_area, 4),
+            "flexible": self.flexible,
+        }
+
+
+#: FlexiPair (Bag et al., IEEE TC 2022) on a Virtex-7, BN256, as quoted in Table 6.
+FLEXIPAIR_FPGA = PublishedAccelerator(
+    name="FlexiPair",
+    reference="[17] Bag et al., IEEE Trans. Computers 2022",
+    platform="FPGA Virtex-7",
+    curve="BN256",
+    frequency_mhz=188.5,
+    cycles=2_552_000,
+    latency_us=14_140.0,
+    area_value=2_506,
+    area_unit="slices",
+    throughput_ops=70.7,
+    flexible=True,
+)
+
+#: Ikeda et al. (A-SSCC 2019) optimal-Ate engine, 65 nm FDSOI, BN254, Table 6 row.
+IKEDA_ASIC = PublishedAccelerator(
+    name="Ikeda-ASIC",
+    reference="[10] Ikeda et al., A-SSCC 2019",
+    platform="ASIC 65nm FDSOI",
+    curve="BN254",
+    frequency_mhz=250.0,
+    cycles=14_050,
+    latency_us=56.2,
+    area_value=12.8,
+    area_unit="mm^2",
+    throughput_ops=17_800.0,
+    flexible=False,
+)
+
+
+def all_baselines() -> list:
+    return [FLEXIPAIR_FPGA, IKEDA_ASIC]

@@ -1,0 +1,16 @@
+"""The Finesse compilation pipeline.
+
+Stages (Section 3.5 of the paper): CodeGen -> IROpt -> BankAlloc -> PackSched ->
+RegAlloc -> ASM -> Link, orchestrated by :class:`repro.compiler.pipeline.CompilerPipeline`.
+"""
+
+from repro.compiler.pipeline import CompilerPipeline, CompileResult, compile_pairing
+from repro.compiler.codegen import generate_pairing_ir, TracingPairingContext
+
+__all__ = [
+    "CompilerPipeline",
+    "CompileResult",
+    "compile_pairing",
+    "generate_pairing_ir",
+    "TracingPairingContext",
+]

@@ -1,0 +1,73 @@
+"""ASM + Link: translate the scheduled IR into encoded machine code.
+
+Register operands are the (bank, slot) pairs produced by RegAlloc, flattened
+into a global register index ``bank * bank_stride + slot``.  Constants and
+kernel inputs become entries of the binary's preload table; the single basic
+block of the pairing kernel makes linking trivial (the link step resolves the
+entry offset and concatenates the preload segment with the text segment).
+"""
+
+from __future__ import annotations
+
+from repro.errors import CompilerError
+from repro.compiler.regalloc import RegisterAllocation
+from repro.compiler.schedule import ScheduledProgram
+from repro.isa.encoding import select_encoding
+from repro.isa.instructions import ir_op_to_machine_op
+from repro.isa.program import AssembledProgram, Bundle, MachineInstruction
+
+
+def assemble(schedule: ScheduledProgram, allocation: RegisterAllocation,
+             name: str | None = None) -> AssembledProgram:
+    module = schedule.module
+    instructions = module.instructions
+
+    bank_stride = max(allocation.registers_per_bank.values())
+    n_banks = schedule.hw.n_banks
+
+    def global_register(vid: int) -> int:
+        bank, slot = allocation.register_of[vid]
+        return bank * bank_stride + slot
+
+    total_registers = n_banks * bank_stride
+    encoding = select_encoding(total_registers)
+
+    bundles = []
+    for schedule_bundle in schedule.bundles:
+        slots = []
+        for vid in schedule_bundle:
+            instr = instructions[vid]
+            machine_op = ir_op_to_machine_op(instr.op)
+            args = instr.args
+            rd = global_register(vid)
+            rs1 = global_register(args[0]) if len(args) >= 1 else 0
+            rs2 = global_register(args[1]) if len(args) >= 2 else 0
+            if instr.op == "muli":
+                raise CompilerError(
+                    "muli must be strength-reduced before assembly (run the IROpt pipeline)"
+                )
+            slots.append(MachineInstruction(machine_op, rd, rs1, rs2, source=vid))
+        bundles.append(Bundle(slots=slots))
+
+    constant_table = {}
+    input_map = {}
+    output_map = {}
+    for vid, instr in enumerate(instructions):
+        if instr.op == "const":
+            constant_table[global_register(vid)] = instr.attr
+        elif instr.op == "input":
+            input_map[instr.attr] = global_register(vid)
+        elif instr.op == "output":
+            output_map[instr.attr] = global_register(instr.args[0])
+
+    return AssembledProgram(
+        name=name or module.name,
+        encoding=encoding,
+        bundles=bundles,
+        constant_table=constant_table,
+        input_map=input_map,
+        output_map=output_map,
+        registers_per_bank=dict(allocation.registers_per_bank),
+        n_banks=n_banks,
+        issue_width=schedule.hw.issue_width,
+    )

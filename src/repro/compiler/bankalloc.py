@@ -1,0 +1,26 @@
+"""BankAlloc: assign SSA values to register banks.
+
+The paper uses a simple residual assignment (value index modulo the number of
+banks) as an effective baseline; values that feed the same VLIW slot family end
+up spread across banks, which is what the read/write port constraints need.
+"""
+
+from __future__ import annotations
+
+from repro.hw.model import HardwareModel
+from repro.ir.module import IRModule
+
+
+def allocate_banks(module: IRModule, hw: HardwareModel) -> list:
+    """Return ``bank[vid]`` for every instruction of the module."""
+    n_banks = max(1, hw.n_banks)
+    banks = [0] * len(module.instructions)
+    counter = 0
+    for vid, instr in enumerate(module.instructions):
+        if instr.op == "output":
+            # Outputs are aliases of their operand; keep the operand's bank.
+            banks[vid] = banks[instr.args[0]] if instr.args else 0
+            continue
+        banks[vid] = counter % n_banks
+        counter += 1
+    return banks

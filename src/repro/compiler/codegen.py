@@ -1,0 +1,79 @@
+"""CodeGen: trace the optimal Ate pairing into high-level IR.
+
+The tracing context mirrors :class:`repro.pairing.context.ConcretePairingContext`
+but returns :class:`~repro.ir.builder.TraceElement` values, so the exact same
+Miller-loop and final-exponentiation code that computes the golden value records
+the accelerator program.  Loops are fully unrolled (their trip counts are curve
+constants), producing the single basic block the rest of the pipeline expects.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CompilerError
+from repro.ir.builder import IRBuilder
+from repro.pairing.context import PairingContext
+from repro.pairing.final_exp import final_exponentiation
+from repro.pairing.miller import miller_loop
+
+
+class TracingPairingContext(PairingContext):
+    """Pairing context whose values are IR trace elements."""
+
+    def __init__(self, curve, builder: IRBuilder):
+        self.curve = curve
+        self.builder = builder
+        self.family = curve.family.name
+        self.u = curve.params.u
+        self.k = curve.params.k
+        self.p = curve.params.p
+        self.r = curve.params.r
+        self.loop_scalar = curve.family.miller_loop_scalar(curve.params.u)
+        self.twist_type = curve.twist_type
+        self.final_exp_plan = curve.final_exp_plan
+        self._tower = curve.tower
+
+    def full_one(self):
+        return self.builder.constant(self._tower.full_field.one())
+
+    def twist_one(self):
+        return self.builder.constant(self._tower.twist_field.one())
+
+    def full_from_w_coeffs(self, coeffs):
+        if len(coeffs) != 6:
+            raise CompilerError("expected 6 twist-field coefficients")
+        zero = None
+        parts = []
+        for coeff in coeffs:
+            if coeff is None:
+                if zero is None:
+                    zero = self.builder.constant(self._tower.twist_field.zero())
+                parts.append(zero)
+            else:
+                parts.append(coeff)
+        return self.builder.pack(parts, self._tower.full_field)
+
+    def twist_frobenius_constants(self, n: int):
+        c_x, c_y = self.curve.twist_frobenius_constants(n)
+        return (self.builder.constant(c_x), self.builder.constant(c_y))
+
+
+def generate_pairing_ir(curve, use_naf: bool = True, include_final_exp: bool = True,
+                        name: str | None = None):
+    """Trace the full pairing kernel for ``curve`` into a high-level IR module.
+
+    The inputs of the module are the affine coordinates of P (two F_p values) and
+    Q (two F_p^{k/6} values); the single output is the G_T result.
+    """
+    builder = IRBuilder(name or f"pairing-{curve.name}")
+    ctx = TracingPairingContext(curve, builder)
+
+    x_p = builder.input(curve.tower.fp, "xP")
+    y_p = builder.input(curve.tower.fp, "yP")
+    x_q = builder.input(curve.tower.twist_field, "xQ")
+    y_q = builder.input(curve.tower.twist_field, "yQ")
+
+    f = miller_loop(ctx, (x_p, y_p), (x_q, y_q), use_naf=use_naf)
+    if include_final_exp:
+        f = final_exponentiation(ctx, f)
+    builder.output(f, "result")
+    return builder.module

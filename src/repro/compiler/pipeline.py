@@ -1,0 +1,276 @@
+"""The compilation pipeline: CodeGen -> IROpt -> BankAlloc -> PackSched -> RegAlloc -> ASM -> Link.
+
+``compile_pairing`` is the main entry point used by the evaluation harness; it
+caches every intermediate stage in-process so that design-space sweeps (many
+hardware models over the same curve, many variant configurations over the same
+trace) do not repeat work, which is what keeps the full benchmark suite runnable
+in pure Python.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.compiler.asm import assemble
+from repro.compiler.bankalloc import allocate_banks
+from repro.compiler.codegen import generate_pairing_ir
+from repro.compiler.opt import OptStats, optimize
+from repro.compiler.regalloc import allocate_registers
+from repro.compiler.schedule import (
+    ScheduledProgram,
+    affinity_schedule,
+    program_order_schedule,
+)
+from repro.fields.variants import VariantConfig
+from repro.hw.model import HardwareModel
+from repro.hw.presets import default_model
+from repro.ir.lowering import lower_module
+from repro.sim.cycle import CycleAccurateSimulator, CycleStats
+
+
+@dataclass
+class CompileResult:
+    """Everything the evaluation harness needs about one compiled kernel."""
+
+    curve_name: str
+    hw: HardwareModel
+    variant_config: VariantConfig
+    use_naf: bool
+    optimized: bool
+    # Instruction counts.
+    hl_instructions: int
+    initial_instructions: int          # F_p instructions before IROpt ("Init.")
+    final_instructions: int            # F_p instructions after IROpt ("Opt.")
+    opt_stats: OptStats
+    # Backend results.
+    schedule: ScheduledProgram
+    cycle_stats: CycleStats
+    registers_per_bank: dict
+    total_registers: int
+    program: object | None             # AssembledProgram (None if assembly skipped)
+    # Baseline (program-order) timing, populated on request.
+    baseline_cycle_stats: CycleStats | None = None
+    # Stage timings in seconds.
+    stage_seconds: dict = field(default_factory=dict)
+
+    @property
+    def cycles(self) -> int:
+        return self.cycle_stats.total_cycles
+
+    @property
+    def ipc(self) -> float:
+        return self.cycle_stats.ipc
+
+    @property
+    def imem_bits(self) -> int:
+        if self.program is not None:
+            return self.program.binary_size_bits()
+        # Without assembly, assume the 32-bit encoding for sizing purposes.
+        return self.schedule.instruction_count * 32
+
+    @property
+    def compile_seconds(self) -> float:
+        return sum(self.stage_seconds.values())
+
+    def describe(self) -> dict:
+        return {
+            "curve": self.curve_name,
+            "hw": self.hw.name,
+            "variants": self.variant_config.name,
+            "hl_instructions": self.hl_instructions,
+            "init_instructions": self.initial_instructions,
+            "opt_instructions": self.final_instructions,
+            "instr_reduction": round(
+                1 - self.final_instructions / self.initial_instructions, 4
+            ) if self.initial_instructions else 0.0,
+            "cycles": self.cycles,
+            "ipc": round(self.ipc, 3),
+            "registers": self.total_registers,
+            "compile_seconds": round(self.compile_seconds, 2),
+        }
+
+
+class CompilerPipeline:
+    """Configurable pipeline instance (see ``compile_pairing`` for the cached API)."""
+
+    def __init__(
+        self,
+        hw: HardwareModel | None = None,
+        variant_config: VariantConfig | None = None,
+        optimize_ir: bool = True,
+        use_naf: bool = True,
+        use_affinity: bool = True,
+        do_assemble: bool = True,
+        record_trace: bool = False,
+    ):
+        self.hw = hw
+        self.variant_config = variant_config or VariantConfig.all_karatsuba()
+        self.optimize_ir = optimize_ir
+        self.use_naf = use_naf
+        self.use_affinity = use_affinity
+        self.do_assemble = do_assemble
+        self.record_trace = record_trace
+
+    # -- individual stages -----------------------------------------------------------
+    def run_codegen(self, curve):
+        return generate_pairing_ir(curve, use_naf=self.use_naf)
+
+    def run_lowering(self, curve, hl_module):
+        return lower_module(hl_module, curve.tower.levels, self.variant_config)
+
+    def compile(self, curve, include_baseline: bool = False) -> CompileResult:
+        hw = (self.hw or default_model(curve.params.p.bit_length())).validate()
+        timings: dict = {}
+
+        start = time.perf_counter()
+        hl_module = _cached_hl_module(curve, self.use_naf)
+        timings["codegen"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        low_module = _cached_low_module(curve, self.variant_config, self.use_naf)
+        timings["lowering"] = time.perf_counter() - start
+
+        initial_instructions = low_module.count_compute_ops()
+        start = time.perf_counter()
+        if self.optimize_ir:
+            optimized_module, opt_stats = _cached_optimized(curve, self.variant_config, self.use_naf)
+        else:
+            optimized_module, opt_stats = low_module, OptStats(
+                initial=initial_instructions, final=initial_instructions
+            )
+        timings["iropt"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        banks = allocate_banks(optimized_module, hw)
+        timings["bankalloc"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        schedule = affinity_schedule(optimized_module, hw, banks, use_affinity=self.use_affinity)
+        timings["packsched"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        simulator = CycleAccurateSimulator(record_trace=self.record_trace)
+        cycle_stats = simulator.run(schedule)
+        timings["cyclesim"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        allocation = allocate_registers(schedule)
+        timings["regalloc"] = time.perf_counter() - start
+
+        program = None
+        if self.do_assemble:
+            start = time.perf_counter()
+            program = assemble(schedule, allocation, name=f"{curve.name}-{hw.name}")
+            timings["asm+link"] = time.perf_counter() - start
+
+        baseline_stats = None
+        if include_baseline:
+            start = time.perf_counter()
+            base_banks = allocate_banks(low_module, hw)
+            base_schedule = program_order_schedule(low_module, hw, base_banks)
+            baseline_stats = CycleAccurateSimulator(record_trace=self.record_trace).run(base_schedule)
+            timings["baseline-sim"] = time.perf_counter() - start
+
+        return CompileResult(
+            curve_name=curve.name,
+            hw=hw,
+            variant_config=self.variant_config,
+            use_naf=self.use_naf,
+            optimized=self.optimize_ir,
+            hl_instructions=hl_module.count_compute_ops(),
+            initial_instructions=initial_instructions,
+            final_instructions=optimized_module.count_compute_ops(),
+            opt_stats=opt_stats,
+            schedule=schedule,
+            cycle_stats=cycle_stats,
+            registers_per_bank=dict(allocation.registers_per_bank),
+            total_registers=allocation.total_registers,
+            program=program,
+            baseline_cycle_stats=baseline_stats,
+            stage_seconds=timings,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Stage-level caches (per process)
+# ---------------------------------------------------------------------------
+
+_HL_CACHE: dict = {}
+_LOW_CACHE: dict = {}
+_OPT_CACHE: dict = {}
+_RESULT_CACHE: dict = {}
+
+
+def _cached_hl_module(curve, use_naf: bool):
+    key = (curve.name, use_naf)
+    if key not in _HL_CACHE:
+        _HL_CACHE[key] = generate_pairing_ir(curve, use_naf=use_naf)
+    return _HL_CACHE[key]
+
+
+def _cached_low_module(curve, config: VariantConfig, use_naf: bool):
+    key = (curve.name, use_naf, config.cache_key())
+    if key not in _LOW_CACHE:
+        hl = _cached_hl_module(curve, use_naf)
+        _LOW_CACHE[key] = lower_module(hl, curve.tower.levels, config)
+    return _LOW_CACHE[key]
+
+
+def _cached_optimized(curve, config: VariantConfig, use_naf: bool):
+    key = (curve.name, use_naf, config.cache_key())
+    if key not in _OPT_CACHE:
+        low = _cached_low_module(curve, config, use_naf)
+        _OPT_CACHE[key] = optimize(low, curve.params.p)
+    return _OPT_CACHE[key]
+
+
+def clear_caches() -> None:
+    """Drop every cached compilation artefact (used by memory-sensitive sweeps)."""
+    _HL_CACHE.clear()
+    _LOW_CACHE.clear()
+    _OPT_CACHE.clear()
+    _RESULT_CACHE.clear()
+
+
+def compile_pairing(
+    curve,
+    hw: HardwareModel | None = None,
+    variant_config: VariantConfig | None = None,
+    optimize_ir: bool = True,
+    use_naf: bool = True,
+    use_affinity: bool = True,
+    do_assemble: bool = True,
+    include_baseline: bool = False,
+    record_trace: bool = False,
+    use_cache: bool = True,
+) -> CompileResult:
+    """Compile the pairing kernel for ``curve`` (cached by full configuration)."""
+    variant_config = variant_config or VariantConfig.all_karatsuba()
+    hw_resolved = (hw or default_model(curve.params.p.bit_length())).validate()
+    key = (
+        curve.name,
+        hw_resolved.cache_key(),
+        variant_config.cache_key(),
+        optimize_ir,
+        use_naf,
+        use_affinity,
+        do_assemble,
+        include_baseline,
+        record_trace,
+    )
+    if use_cache and key in _RESULT_CACHE:
+        return _RESULT_CACHE[key]
+    pipeline = CompilerPipeline(
+        hw=hw_resolved,
+        variant_config=variant_config,
+        optimize_ir=optimize_ir,
+        use_naf=use_naf,
+        use_affinity=use_affinity,
+        do_assemble=do_assemble,
+        record_trace=record_trace,
+    )
+    result = pipeline.compile(curve, include_baseline=include_baseline)
+    if use_cache:
+        _RESULT_CACHE[key] = result
+    return result

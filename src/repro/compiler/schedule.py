@@ -1,0 +1,239 @@
+"""PackSched: operation packing and scheduling (Algorithm 2).
+
+A top-down list scheduler orders the F_p instructions (and packs them into VLIW
+issue slots when the hardware model is multi-issue) subject to:
+
+* data dependencies and instruction itineraries (Long/Short/inv latencies),
+* per-kind unit limits (one mmul, ``n_linear_units`` linear units per cycle),
+* register-bank read ports (2 reads per bank per cycle),
+* register-bank write-back ports -- without the write-back FIFO, two results may
+  not retire into the same bank in the same cycle, which is exactly the conflict
+  Figure 7 illustrates,
+* the issue-slot *affinity* heuristic of Section 3.5: issue slots are divided
+  into periodic Long/Short-affine positions so that Short instructions are not
+  issued where their write-back would collide with an older Long instruction.
+
+The paper's dynamic-programming pack search is approximated greedily in affinity
+order, which preserves the optimisation's effect while keeping the scheduler
+linear in the program size.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import CompilerError
+from repro.hw.model import HardwareModel
+from repro.ir.module import IRModule
+from repro.ir.ops import is_linear, is_multiplicative
+
+
+_SCHEDULED_OPS = ("add", "sub", "neg", "dbl", "tpl", "muli", "mul", "sqr", "inv", "cvt", "icv")
+
+
+def unit_of(op: str) -> str:
+    if is_multiplicative(op):
+        return "long"
+    if op == "inv":
+        return "inv"
+    if is_linear(op):
+        return "short"
+    return "none"
+
+
+@dataclass
+class ScheduledProgram:
+    """Result of PackSched: an ordered list of issue bundles of IR value ids."""
+
+    module: IRModule
+    hw: HardwareModel
+    banks: list
+    bundles: list                      # list[list[vid]]
+    issue_cycle: dict                  # vid -> planned issue cycle
+    planned_cycles: int
+    affinity_beta: float
+
+    @property
+    def instruction_count(self) -> int:
+        return sum(len(b) for b in self.bundles)
+
+    def planned_ipc(self) -> float:
+        if not self.planned_cycles:
+            return 0.0
+        return self.instruction_count / self.planned_cycles
+
+
+def program_order_schedule(module: IRModule, hw: HardwareModel, banks: list) -> ScheduledProgram:
+    """The unscheduled baseline: original program order, one instruction per bundle."""
+    bundles = []
+    issue_cycle = {}
+    for vid, instr in enumerate(module.instructions):
+        if instr.op in _SCHEDULED_OPS:
+            issue_cycle[vid] = len(bundles)
+            bundles.append([vid])
+    return ScheduledProgram(
+        module=module, hw=hw, banks=banks, bundles=bundles, issue_cycle=issue_cycle,
+        planned_cycles=len(bundles), affinity_beta=0.0,
+    )
+
+
+@dataclass
+class _PendingQueues:
+    long_ready: deque = field(default_factory=deque)
+    short_ready: deque = field(default_factory=deque)
+
+    def push(self, vid: int, unit: str) -> None:
+        if unit == "short":
+            self.short_ready.append(vid)
+        else:
+            self.long_ready.append(vid)
+
+    def __len__(self) -> int:
+        return len(self.long_ready) + len(self.short_ready)
+
+
+def affinity_schedule(
+    module: IRModule,
+    hw: HardwareModel,
+    banks: list,
+    beta: float = 0.05,
+    use_affinity: bool = True,
+) -> ScheduledProgram:
+    """List scheduling with issue-slot affinity (Algorithm 2)."""
+    instructions = module.instructions
+    n = len(instructions)
+
+    # Dependency counts and consumer lists, restricted to scheduled (compute) ops.
+    scheduled = [instr.op in _SCHEDULED_OPS for instr in instructions]
+    deps = [0] * n
+    consumers: list = [[] for _ in range(n)]
+    long_count = 0
+    total_count = 0
+    for vid, instr in enumerate(instructions):
+        if not scheduled[vid]:
+            continue
+        total_count += 1
+        if unit_of(instr.op) != "short":
+            long_count += 1
+        unique_args = set(a for a in instr.args if scheduled[a])
+        deps[vid] = len(unique_args)
+        for arg in unique_args:
+            consumers[arg].append(vid)
+    if total_count == 0:
+        raise CompilerError("module has no schedulable instructions")
+
+    long_fraction = long_count / total_count
+    latency = {vid: hw.latency_of_unit(unit_of(instructions[vid].op)) for vid in range(n) if scheduled[vid]}
+
+    # earliest[vid]: the cycle at which every operand has been written back.
+    earliest = [0] * n
+    ready_at: dict = {}
+    queues = _PendingQueues()
+    for vid in range(n):
+        if scheduled[vid] and deps[vid] == 0:
+            ready_at.setdefault(0, []).append(vid)
+
+    issue_cycle: dict = {}
+    bundles: list = []
+    writeback_busy: dict = {}          # (bank, cycle) -> True (only enforced without FIFO)
+    enforce_wb = not hw.has_writeback_fifo
+
+    period = max(1, hw.long_latency - hw.short_latency)
+    long_share = min(1.0, long_fraction + beta)
+
+    remaining = total_count
+    cycle = 0
+    guard = 0
+    while remaining > 0:
+        guard += 1
+        if guard > 50 * total_count + 1000:
+            raise CompilerError("scheduler failed to converge (internal error)")
+        # Move instructions whose operands are ready by this cycle into the queues.
+        pending_cycles = [c for c in ready_at if c <= cycle]
+        for c in sorted(pending_cycles):
+            for vid in ready_at.pop(c):
+                queues.push(vid, unit_of(instructions[vid].op))
+
+        if len(queues) == 0:
+            # Idle: jump to the next cycle where something becomes ready.
+            if not ready_at:
+                raise CompilerError("deadlock in scheduler: nothing ready, nothing pending")
+            cycle = min(ready_at)
+            continue
+
+        prefer_long = ((cycle % period) / period) <= long_share if use_affinity else True
+        order = (
+            (queues.long_ready, queues.short_ready)
+            if prefer_long
+            else (queues.short_ready, queues.long_ready)
+        )
+
+        bundle: list = []
+        units_used = {"long": 0, "short": 0, "inv": 0}
+        reads_per_bank: dict = {}
+        writes_this_bundle: set = set()
+        deferred: list = []
+
+        for queue in order:
+            while queue and len(bundle) < hw.issue_width:
+                vid = queue.popleft()
+                unit = unit_of(instructions[vid].op)
+                limit = hw.units_of_kind(unit)
+                ok = units_used[unit] < limit
+                # Read-port constraint.
+                if ok:
+                    needed: dict = {}
+                    for arg in instructions[vid].args:
+                        if scheduled[arg] or instructions[arg].op in ("const", "input"):
+                            bank = banks[arg]
+                            needed[bank] = needed.get(bank, 0) + 1
+                    ok = all(
+                        reads_per_bank.get(bank, 0) + count <= hw.bank_read_ports
+                        for bank, count in needed.items()
+                    )
+                # Write-back port constraint (Figure 7).
+                wb_key = None
+                if ok and enforce_wb:
+                    wb_cycle = cycle + latency[vid]
+                    wb_key = (banks[vid], wb_cycle)
+                    ok = wb_key not in writeback_busy and wb_key not in writes_this_bundle
+                if not ok:
+                    deferred.append(vid)
+                    continue
+                # Issue it.
+                bundle.append(vid)
+                units_used[unit] += 1
+                for bank, count in needed.items():
+                    reads_per_bank[bank] = reads_per_bank.get(bank, 0) + count
+                if enforce_wb and wb_key is not None:
+                    writes_this_bundle.add(wb_key)
+            if len(bundle) >= hw.issue_width:
+                break
+
+        for vid in deferred:
+            queues.push(vid, unit_of(instructions[vid].op))
+
+        if not bundle:
+            cycle += 1
+            continue
+
+        for vid in bundle:
+            issue_cycle[vid] = cycle
+            if enforce_wb:
+                writeback_busy[(banks[vid], cycle + latency[vid])] = True
+            finish = cycle + latency[vid]
+            for consumer in consumers[vid]:
+                deps[consumer] -= 1
+                earliest[consumer] = max(earliest[consumer], finish)
+                if deps[consumer] == 0:
+                    ready_at.setdefault(max(earliest[consumer], cycle + 1), []).append(consumer)
+        bundles.append(bundle)
+        remaining -= len(bundle)
+        cycle += 1
+
+    last_finish = max(issue_cycle[vid] + latency[vid] for vid in issue_cycle)
+    return ScheduledProgram(
+        module=module, hw=hw, banks=banks, bundles=bundles, issue_cycle=issue_cycle,
+        planned_cycles=last_finish, affinity_beta=beta if use_affinity else 0.0,
+    )

@@ -1,0 +1,120 @@
+"""Branch-free point-operation formulas (the paper's PA/PD operator variants).
+
+Two coordinate systems are provided, matching Table 5's G2 variants:
+
+* Jacobian coordinates ``(X, Y, Z)`` with ``x = X/Z^2``, ``y = Y/Z^3``;
+* homogeneous projective coordinates ``(X, Y, Z)`` with ``x = X/Z``, ``y = Y/Z``.
+
+The formulas assume a short-Weierstrass curve with ``a = 0`` (all BN/BLS curves)
+and no exceptional cases (valid inside the Miller loop where the involved points
+never coincide or vanish).  They operate through the plain element interface so
+they work on concrete field elements and on the compiler's tracing values.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CurveError
+
+
+# ---------------------------------------------------------------------------
+# Jacobian coordinates
+# ---------------------------------------------------------------------------
+
+def jacobian_double(point):
+    """Point doubling in Jacobian coordinates (a = 0)."""
+    X, Y, Z = point
+    A = X.square()
+    B = Y.square()
+    C = B.square()
+    D = ((X + B).square() - A - C).double()
+    E = A.triple()
+    F = E.square()
+    X3 = F - D.double()
+    Y3 = E * (D - X3) - C.mul_small(8)
+    Z3 = (Y * Z).double()
+    return (X3, Y3, Z3)
+
+
+def jacobian_add_mixed(point, affine):
+    """Mixed addition: Jacobian ``point`` plus affine ``(x, y)`` (distinct points)."""
+    X, Y, Z = point
+    x2, y2 = affine
+    Z2 = Z.square()
+    U2 = x2 * Z2
+    S2 = (y2 * Z) * Z2
+    H = U2 - X
+    R = S2 - Y
+    H2 = H.square()
+    H3 = H * H2
+    V = X * H2
+    X3 = R.square() - H3 - V.double()
+    Y3 = R * (V - X3) - Y * H3
+    Z3 = Z * H
+    return (X3, Y3, Z3)
+
+
+def jacobian_to_affine(point):
+    X, Y, Z = point
+    if Z.is_zero():
+        raise CurveError("point at infinity has no affine form")
+    z_inv = Z.inverse()
+    z_inv2 = z_inv.square()
+    return (X * z_inv2, Y * (z_inv2 * z_inv))
+
+
+def affine_to_jacobian(affine):
+    x, y = affine
+    return (x, y, x.field.one())
+
+
+# ---------------------------------------------------------------------------
+# Homogeneous projective coordinates
+# ---------------------------------------------------------------------------
+
+def projective_double(point, b_coeff=None):
+    """Doubling in homogeneous projective coordinates for ``y^2 z = x^3 + b z^3``.
+
+    Derived directly from the affine tangent rule with denominators cleared
+    (``b_coeff`` is accepted for interface symmetry but not needed when a = 0).
+    """
+    X, Y, Z = point
+    W = X.square().triple()              # 3 X^2
+    S = (Y * Z).double()                 # 2 Y Z
+    S2 = S.square()
+    S3 = S2 * S
+    XS2 = X * S2
+    H = W.square() * Z - XS2.double()
+    X3 = H * S
+    Y3 = W * (XS2 - H) - Y * S3
+    Z3 = S3 * Z
+    return (X3, Y3, Z3)
+
+
+def projective_add_mixed(point, affine, b_coeff):
+    """Mixed addition in homogeneous projective coordinates (generic chord rule)."""
+    X1, Y1, Z1 = point
+    x2, y2 = affine
+    # u = y2 Z1 - Y1, v = x2 Z1 - X1 (chord slope numerators).
+    u = y2 * Z1 - Y1
+    v = x2 * Z1 - X1
+    vv = v.square()
+    vvv = vv * v
+    R = vv * X1
+    A = u.square() * Z1 - vvv - R.double()
+    X3 = v * A
+    Y3 = u * (R - A) - vvv * Y1
+    Z3 = vvv * Z1
+    return (X3, Y3, Z3)
+
+
+def projective_to_affine(point):
+    X, Y, Z = point
+    if Z.is_zero():
+        raise CurveError("point at infinity has no affine form")
+    z_inv = Z.inverse()
+    return (X * z_inv, Y * z_inv)
+
+
+def affine_to_projective(affine):
+    x, y = affine
+    return (x, y, x.field.one())

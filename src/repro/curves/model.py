@@ -1,0 +1,168 @@
+"""Short-Weierstrass elliptic curves over arbitrary finite fields.
+
+This is the reference ("golden") group arithmetic: affine coordinates with full
+special-case handling.  The branch-free Jacobian / projective formulas used by
+the accelerator code generator live in :mod:`repro.curves.formulas` and are
+tested against this module.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import CurveError
+from repro.fields.sqrt import field_sqrt, is_field_square
+
+
+class EllipticCurve:
+    """The curve ``y^2 = x^3 + a x + b`` over a finite field."""
+
+    __slots__ = ("field", "a", "b", "name")
+
+    def __init__(self, field, a, b, name: str | None = None):
+        self.field = field
+        self.a = field(a) if not hasattr(a, "field") else a
+        self.b = field(b) if not hasattr(b, "field") else b
+        self.name = name or "E"
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, EllipticCurve)
+            and other.field == self.field
+            and other.a == self.a
+            and other.b == self.b
+        )
+
+    def __hash__(self) -> int:
+        return hash(("EllipticCurve", hash(self.field), hash(self.a), hash(self.b)))
+
+    def __repr__(self) -> str:
+        return f"{self.name}: y^2 = x^3 + a x + b over {self.field!r}"
+
+    # -- points -----------------------------------------------------------------
+    def infinity(self) -> "AffinePoint":
+        return AffinePoint(self, None, None)
+
+    def point(self, x, y) -> "AffinePoint":
+        x = self.field(x) if not hasattr(x, "field") else x
+        y = self.field(y) if not hasattr(y, "field") else y
+        point = AffinePoint(self, x, y)
+        if not point.is_on_curve():
+            raise CurveError("point is not on the curve")
+        return point
+
+    def lift_x(self, x) -> "AffinePoint | None":
+        """Return a point with the given x coordinate, or ``None`` if none exists."""
+        x = self.field(x) if not hasattr(x, "field") else x
+        rhs = x * x.square() + self.a * x + self.b
+        if not is_field_square(rhs):
+            return None
+        y = field_sqrt(rhs)
+        return AffinePoint(self, x, y)
+
+    def random_point(self, rng: random.Random) -> "AffinePoint":
+        """Sample a uniformly-ish random affine point (rejection sampling on x)."""
+        for _ in range(1000):
+            x = self.field.random(rng)
+            point = self.lift_x(x)
+            if point is not None:
+                if rng.randrange(2):
+                    point = -point
+                return point
+        raise CurveError("failed to sample a random curve point")
+
+
+class AffinePoint:
+    """An affine point; ``x is None`` encodes the point at infinity."""
+
+    __slots__ = ("curve", "x", "y")
+
+    def __init__(self, curve: EllipticCurve, x, y):
+        self.curve = curve
+        self.x = x
+        self.y = y
+
+    # -- predicates ----------------------------------------------------------------
+    def is_infinity(self) -> bool:
+        return self.x is None
+
+    def is_on_curve(self) -> bool:
+        if self.is_infinity():
+            return True
+        lhs = self.y.square()
+        rhs = self.x * self.x.square() + self.curve.a * self.x + self.curve.b
+        return lhs == rhs
+
+    # -- group law -------------------------------------------------------------------
+    def __neg__(self) -> "AffinePoint":
+        if self.is_infinity():
+            return self
+        return AffinePoint(self.curve, self.x, -self.y)
+
+    def __add__(self, other: "AffinePoint") -> "AffinePoint":
+        if self.curve != other.curve:
+            raise CurveError("points lie on different curves")
+        if self.is_infinity():
+            return other
+        if other.is_infinity():
+            return self
+        if self.x == other.x:
+            if self.y == -other.y:
+                return self.curve.infinity()
+            return self.double()
+        slope = (other.y - self.y) * (other.x - self.x).inverse()
+        x3 = slope.square() - self.x - other.x
+        y3 = slope * (self.x - x3) - self.y
+        return AffinePoint(self.curve, x3, y3)
+
+    def __sub__(self, other: "AffinePoint") -> "AffinePoint":
+        return self + (-other)
+
+    def double(self) -> "AffinePoint":
+        if self.is_infinity():
+            return self
+        if self.y.is_zero():
+            return self.curve.infinity()
+        field = self.curve.field
+        three = field(3)
+        two_inv = (self.y + self.y).inverse()
+        slope = (self.x.square() * three + self.curve.a) * two_inv
+        x3 = slope.square() - self.x - self.x
+        y3 = slope * (self.x - x3) - self.y
+        return AffinePoint(self.curve, x3, y3)
+
+    def scalar_mul(self, scalar: int) -> "AffinePoint":
+        scalar = int(scalar)
+        if scalar < 0:
+            return (-self).scalar_mul(-scalar)
+        result = self.curve.infinity()
+        addend = self
+        while scalar:
+            if scalar & 1:
+                result = result + addend
+            addend = addend.double()
+            scalar >>= 1
+        return result
+
+    def __mul__(self, scalar: int) -> "AffinePoint":
+        return self.scalar_mul(scalar)
+
+    __rmul__ = __mul__
+
+    # -- structure ----------------------------------------------------------------------
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, AffinePoint):
+            return NotImplemented
+        if self.is_infinity() or other.is_infinity():
+            return self.is_infinity() and other.is_infinity()
+        return self.curve == other.curve and self.x == other.x and self.y == other.y
+
+    def __hash__(self) -> int:
+        if self.is_infinity():
+            return hash(("AffinePoint", "infinity"))
+        return hash(("AffinePoint", hash(self.x), hash(self.y)))
+
+    def __repr__(self) -> str:
+        if self.is_infinity():
+            return "Point(infinity)"
+        return f"Point({self.x!r}, {self.y!r})"

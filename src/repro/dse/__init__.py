@@ -1,0 +1,16 @@
+"""Design-space exploration and co-design loop."""
+
+from repro.dse.space import DesignPoint, figure2_variant_configs, named_variant_configs, variant_combinations
+from repro.dse.explorer import DesignMetrics, DesignSpaceExplorer, evaluate_design_point
+from repro.dse.codesign import alu_family_codesign
+
+__all__ = [
+    "DesignPoint",
+    "figure2_variant_configs",
+    "named_variant_configs",
+    "variant_combinations",
+    "DesignMetrics",
+    "DesignSpaceExplorer",
+    "evaluate_design_point",
+    "alu_family_codesign",
+]

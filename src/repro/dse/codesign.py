@@ -1,0 +1,73 @@
+"""Co-design over the ALU family (Figure 11).
+
+The "ALU family" axis is the pipeline depth of the fully-pipelined modular
+multiplier: deeper pipelines raise the clock frequency (until the technology
+floor) but expose more latency to the scheduler, lowering IPC.  The co-design
+loop couples the timing model (standing in for the EDA critical-path report)
+with the compiler/simulator IPC feedback and picks the best depth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.pipeline import compile_pairing
+from repro.hw.presets import default_model
+from repro.hw.technology import TECH_40NM, TechnologyNode
+from repro.hw.timing import critical_path_ns, frequency_mhz
+
+
+@dataclass(frozen=True)
+class CodesignRecord:
+    long_latency: int
+    critical_path_ns: float
+    frequency_mhz: float
+    ipc: float
+    cycles: int
+    latency_us: float
+    throughput_kops: float
+
+    def describe(self) -> dict:
+        return {
+            "long_latency": self.long_latency,
+            "critical_path_ns": round(self.critical_path_ns, 2),
+            "frequency_mhz": round(self.frequency_mhz, 1),
+            "ipc": round(self.ipc, 3),
+            "cycles": self.cycles,
+            "latency_us": round(self.latency_us, 2),
+            "throughput_kops": round(self.throughput_kops, 2),
+        }
+
+
+def alu_family_codesign(
+    curve,
+    long_latencies=tuple(range(14, 42, 3)),
+    technology: TechnologyNode = TECH_40NM,
+    variant_config=None,
+) -> list:
+    """Sweep the mmul pipeline depth and return one record per candidate."""
+    width = curve.params.p.bit_length()
+    records = []
+    for long_latency in long_latencies:
+        hw = default_model(width, name=f"L{long_latency}").with_long_latency(long_latency)
+        result = compile_pairing(curve, hw=hw, variant_config=variant_config)
+        cp = critical_path_ns(width, long_latency, technology)
+        freq = frequency_mhz(width, long_latency, technology)
+        latency_us = result.cycles / freq
+        records.append(
+            CodesignRecord(
+                long_latency=long_latency,
+                critical_path_ns=cp,
+                frequency_mhz=freq,
+                ipc=result.ipc,
+                cycles=result.cycles,
+                latency_us=latency_us,
+                throughput_kops=1e3 / latency_us,
+            )
+        )
+    return records
+
+
+def best_depth(records) -> CodesignRecord:
+    """The depth with the highest throughput (the co-design decision)."""
+    return max(records, key=lambda record: record.throughput_kops)

@@ -1,0 +1,117 @@
+"""Design-point evaluation and exhaustive exploration.
+
+Each design point is evaluated through the real tool-chain: compile (with the
+point's operator variants), schedule and simulate on the point's hardware model,
+then price it with the area and timing models -- the co-design feedback loop of
+Section 3.6, with the analytic models standing in for the EDA tools.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.pipeline import compile_pairing
+from repro.dse.space import DesignPoint
+from repro.errors import DSEError
+from repro.hw.area import estimate_area
+from repro.hw.technology import TECH_40NM, TechnologyNode
+from repro.hw.timing import frequency_mhz
+
+
+@dataclass(frozen=True)
+class DesignMetrics:
+    """Figures of merit of one evaluated design point."""
+
+    label: str
+    curve: str
+    cycles: int
+    instructions: int
+    ipc: float
+    frequency_mhz: float
+    latency_us: float
+    throughput_ops: float
+    area_mm2: float
+    throughput_per_mm2: float
+    registers: int
+
+    def describe(self) -> dict:
+        return {
+            "label": self.label,
+            "curve": self.curve,
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "ipc": round(self.ipc, 3),
+            "frequency_mhz": round(self.frequency_mhz, 1),
+            "latency_us": round(self.latency_us, 2),
+            "throughput_ops": round(self.throughput_ops, 1),
+            "area_mm2": round(self.area_mm2, 3),
+            "throughput_per_mm2": round(self.throughput_per_mm2, 2),
+        }
+
+
+#: Built-in optimisation objectives (all are "larger is better" after negation).
+OBJECTIVES = {
+    "throughput": lambda m: m.throughput_ops,
+    "latency": lambda m: -m.latency_us,
+    "area": lambda m: -m.area_mm2,
+    "efficiency": lambda m: m.throughput_per_mm2,
+}
+
+
+def evaluate_design_point(
+    curve,
+    point: DesignPoint,
+    n_cores: int = 1,
+    technology: TechnologyNode = TECH_40NM,
+) -> DesignMetrics:
+    """Compile + simulate + price one design point."""
+    result = compile_pairing(curve, hw=point.hw, variant_config=point.variant_config)
+    freq = frequency_mhz(point.hw.word_width, point.hw.long_latency, technology)
+    latency_us = result.cycles / freq
+    throughput = n_cores * 1e6 / latency_us
+    area = estimate_area(point.hw, result.imem_bits, result.total_registers,
+                         n_cores=n_cores, technology=technology)
+    return DesignMetrics(
+        label=point.label or f"{point.variant_config.name}/{point.hw.name}",
+        curve=curve.name,
+        cycles=result.cycles,
+        instructions=result.final_instructions,
+        ipc=result.ipc,
+        frequency_mhz=freq,
+        latency_us=latency_us,
+        throughput_ops=throughput,
+        area_mm2=area.total_mm2,
+        throughput_per_mm2=throughput / area.total_mm2,
+        registers=result.total_registers,
+    )
+
+
+class DesignSpaceExplorer:
+    """Exhaustive search over a list of design points (the paper's baseline strategy)."""
+
+    def __init__(self, curve, n_cores: int = 1, technology: TechnologyNode = TECH_40NM):
+        self.curve = curve
+        self.n_cores = n_cores
+        self.technology = technology
+        self.evaluated: list = []
+
+    def explore(self, points, objective="throughput") -> list:
+        """Evaluate every point; returns metrics sorted best-first by the objective."""
+        if callable(objective):
+            score = objective
+        else:
+            try:
+                score = OBJECTIVES[objective]
+            except KeyError as exc:
+                raise DSEError(f"unknown objective {objective!r}") from exc
+        self.evaluated = [
+            evaluate_design_point(self.curve, point, self.n_cores, self.technology)
+            for point in points
+        ]
+        return sorted(self.evaluated, key=score, reverse=True)
+
+    def best(self, points, objective="throughput") -> DesignMetrics:
+        ranked = self.explore(points, objective)
+        if not ranked:
+            raise DSEError("empty design space")
+        return ranked[0]

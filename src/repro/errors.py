@@ -1,0 +1,41 @@
+"""Exception hierarchy used across the Finesse reproduction."""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class FieldError(ReproError):
+    """Invalid finite-field construction or operation."""
+
+
+class CurveError(ReproError):
+    """Invalid curve parameters or point operation."""
+
+
+class PairingError(ReproError):
+    """Pairing computation failure (degenerate input, invalid subgroup...)."""
+
+
+class IRError(ReproError):
+    """Malformed IR or illegal IR transformation."""
+
+
+class ISAError(ReproError):
+    """Illegal instruction, encoding overflow or malformed program."""
+
+
+class HardwareModelError(ReproError):
+    """Inconsistent hardware model (violates the framework's model constraints)."""
+
+
+class CompilerError(ReproError):
+    """Compilation pipeline failure."""
+
+
+class SimulationError(ReproError):
+    """Functional or cycle-accurate simulation failure."""
+
+
+class DSEError(ReproError):
+    """Design-space exploration failure."""

@@ -1,0 +1,34 @@
+"""Evaluation harness: one module per table/figure of the paper."""
+
+from repro.evaluation import (  # noqa: F401
+    table2,
+    table3,
+    table5,
+    table6,
+    table7,
+    fig2,
+    fig6,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+)
+from repro.evaluation.runner import run_all, EXPERIMENTS
+
+__all__ = [
+    "table2",
+    "table3",
+    "table5",
+    "table6",
+    "table7",
+    "fig2",
+    "fig6",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "run_all",
+    "EXPERIMENTS",
+]

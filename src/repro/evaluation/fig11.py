@@ -1,0 +1,33 @@
+"""Figure 11: co-design over the ALU family (mmul pipeline depth) for BN254N."""
+
+from __future__ import annotations
+
+from repro.curves.catalog import get_curve
+from repro.dse.codesign import alu_family_codesign, best_depth
+from repro.evaluation.common import codesign_curve_name
+
+
+def run(scale: str | None = None) -> dict:
+    curve = get_curve(codesign_curve_name(scale))
+    records = alu_family_codesign(curve)
+    best = best_depth(records)
+    return {
+        "experiment": "fig11",
+        "curve": curve.name,
+        "rows": [record.describe() for record in records],
+        "optimal_long_latency": best.long_latency,
+        "paper_claim": "optimal pipeline depth of 38 cycles on the single-issue architecture",
+    }
+
+
+def render(result: dict) -> str:
+    lines = [
+        f"{'Long':>6}{'CP(ns)':>9}{'MHz':>8}{'IPC':>7}{'cycles':>9}{'us':>9}{'kops':>8}"
+    ]
+    for row in result["rows"]:
+        lines.append(
+            f"{row['long_latency']:>6}{row['critical_path_ns']:>9}{row['frequency_mhz']:>8}"
+            f"{row['ipc']:>7}{row['cycles']:>9}{row['latency_us']:>9}{row['throughput_kops']:>8}"
+        )
+    lines.append(f"optimal depth: {result['optimal_long_latency']}")
+    return "\n".join(lines)

@@ -1,0 +1,57 @@
+"""Figure 2: effect of per-level Karatsuba choices on the overall cycle count.
+
+The experiment compiles the BLS24 O-Ate kernel under the "all Karatsuba"
+configuration and under each "Karatsuba except level F_p^N" ablation, on the
+basic single-issue hardware model, and reports cycle counts normalised to the
+all-Karatsuba baseline -- reproducing the observation that disabling Karatsuba
+on the lowest levels *reduces* the cycle count on a memory-bound single-issue
+pipeline.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.pipeline import compile_pairing
+from repro.curves.catalog import get_curve
+from repro.dse.space import figure2_variant_configs
+from repro.evaluation.common import dse_curve_name, hw_for_curve
+
+
+def run(scale: str | None = None) -> dict:
+    curve = get_curve(dse_curve_name(scale))
+    hw = hw_for_curve(curve)
+    configs = figure2_variant_configs(curve.params.k)
+    series = []
+    baseline_cycles = None
+    for label, config in configs.items():
+        result = compile_pairing(curve, hw=hw, variant_config=config)
+        if label == "all-karatsuba":
+            baseline_cycles = result.cycles
+        series.append(
+            {
+                "config": label,
+                "cycles": result.cycles,
+                "instructions": result.final_instructions,
+                "mul_instructions": result.schedule.module.op_histogram().get("mul", 0)
+                + result.schedule.module.op_histogram().get("sqr", 0),
+            }
+        )
+    for entry in series:
+        entry["normalized_cycles"] = round(entry["cycles"] / baseline_cycles, 4)
+    best = min(series, key=lambda e: e["cycles"])
+    return {
+        "experiment": "fig2",
+        "curve": curve.name,
+        "hw": hw.name,
+        "series": series,
+        "optimal_config": best["config"],
+    }
+
+
+def render(result: dict) -> str:
+    lines = [f"Figure 2 -- curve {result['curve']}"]
+    for entry in result["series"]:
+        lines.append(
+            f"  {entry['config']:<18} cycles={entry['cycles']:>10}  norm={entry['normalized_cycles']}"
+        )
+    lines.append(f"  optimal: {result['optimal_config']}")
+    return "\n".join(lines)

@@ -1,0 +1,82 @@
+"""Figure 8: scalability of the framework as curve width / security level rise.
+
+For every catalog curve of Table 2 the harness compiles the kernel on the
+reference hardware model, prices it with the area/timing models, and reports:
+
+* (a) pairing delay and area against k*log p, including the ratios
+  area / (k log p) and area / (k log p)^2 that show the sub-quadratic growth;
+* (b) the same metrics against the estimated security level.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.pipeline import compile_pairing
+from repro.curves.catalog import get_curve
+from repro.evaluation.common import hw_for_curve, paper_curve_names
+from repro.hw.area import estimate_area
+from repro.hw.timing import frequency_mhz
+
+
+def run(scale: str | None = None) -> dict:
+    rows = []
+    for name in paper_curve_names(scale):
+        curve = get_curve(name)
+        hw = hw_for_curve(curve)
+        result = compile_pairing(curve, hw=hw)
+        width = hw.word_width
+        freq = frequency_mhz(width, hw.long_latency)
+        delay_us = result.cycles / freq
+        area = estimate_area(hw, result.imem_bits, result.total_registers, n_cores=1)
+        klogp = curve.params.k * curve.params.p.bit_length()
+        security = curve.security_bits
+        area_um2 = area.total_mm2 * 1e6
+        rows.append(
+            {
+                "curve": name,
+                "k_log_p": klogp,
+                "security_bits": security,
+                "cycles": result.cycles,
+                "delay_us": round(delay_us, 2),
+                "area_mm2": round(area.total_mm2, 3),
+                "delay_per_klogp_us_per_bit": round(delay_us / klogp, 5),
+                "area_per_klogp_um2_per_bit": round(area_um2 / klogp, 1),
+                "area_per_klogp2_um2_per_bit2": round(area_um2 / (klogp ** 2), 4),
+                "delay_per_security_us_per_bit": round(delay_us / security, 3),
+                "area_per_security_um2_per_bit": round(area_um2 / security, 1),
+            }
+        )
+    # Growth-rate summary: fit the exponent of area vs klogp (log-log slope).
+    if len(rows) >= 2:
+        import math
+
+        xs = [math.log(row["k_log_p"]) for row in rows]
+        ys = [math.log(row["area_mm2"]) for row in rows]
+        n = len(xs)
+        mean_x = sum(xs) / n
+        mean_y = sum(ys) / n
+        slope = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys)) / sum(
+            (x - mean_x) ** 2 for x in xs
+        )
+    else:
+        slope = float("nan")
+    return {
+        "experiment": "fig8",
+        "rows": rows,
+        "area_growth_exponent_vs_klogp": round(slope, 3),
+        "paper_claim": "area grows slightly above linear in k*log p (well below quadratic)",
+    }
+
+
+def render(result: dict) -> str:
+    lines = [
+        f"{'Curve':<12}{'klogp':>7}{'Sec':>5}{'delay(us)':>11}{'area(mm2)':>11}"
+        f"{'area/klogp':>12}{'area/k2log2p':>14}"
+    ]
+    for row in result["rows"]:
+        lines.append(
+            f"{row['curve']:<12}{row['k_log_p']:>7}{row['security_bits']:>5}"
+            f"{row['delay_us']:>11}{row['area_mm2']:>11}"
+            f"{row['area_per_klogp_um2_per_bit']:>12}{row['area_per_klogp2_um2_per_bit2']:>14}"
+        )
+    lines.append(f"area growth exponent vs klogp: {result['area_growth_exponent_vs_klogp']}")
+    return "\n".join(lines)

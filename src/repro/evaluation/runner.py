@@ -1,0 +1,81 @@
+"""Run every table/figure experiment and render a consolidated report."""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+
+from repro.evaluation import (
+    fig2,
+    fig6,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    table2,
+    table3,
+    table5,
+    table6,
+    table7,
+)
+
+#: Experiment registry, ordered as in the paper.
+EXPERIMENTS = {
+    "table2": table2,
+    "table3": table3,
+    "table5": table5,
+    "table6": table6,
+    "table7": table7,
+    "fig2": fig2,
+    "fig6": fig6,
+    "fig8": fig8,
+    "fig9": fig9,
+    "fig10": fig10,
+    "fig11": fig11,
+    "fig12": fig12,
+}
+
+
+def run_all(scale: str | None = None, names=None, verbose: bool = True) -> dict:
+    """Run the selected experiments (all by default) and return their results."""
+    results = {}
+    for name, module in EXPERIMENTS.items():
+        if names is not None and name not in names:
+            continue
+        start = time.perf_counter()
+        result = module.run(scale)
+        result["seconds"] = round(time.perf_counter() - start, 2)
+        results[name] = result
+        if verbose:
+            print(f"== {name} ({result['seconds']}s) ==")
+            print(module.render(result))
+            print()
+    return results
+
+
+def main(argv=None) -> int:
+    argv = argv if argv is not None else sys.argv[1:]
+    names = None
+    scale = None
+    out_path = None
+    args = list(argv)
+    while args:
+        arg = args.pop(0)
+        if arg == "--scale":
+            scale = args.pop(0)
+        elif arg == "--json":
+            out_path = args.pop(0)
+        else:
+            names = (names or []) + [arg]
+    results = run_all(scale=scale, names=names)
+    if out_path:
+        serialisable = json.loads(json.dumps(results, default=str))
+        with open(out_path, "w") as handle:
+            json.dump(serialisable, handle, indent=2)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,36 @@
+"""Table 2: pairing-friendly curve parameters and security levels."""
+
+from __future__ import annotations
+
+from repro.curves.catalog import get_curve
+from repro.evaluation.common import paper_curve_names
+
+
+def run(scale: str | None = None) -> dict:
+    rows = []
+    for name in paper_curve_names(scale):
+        curve = get_curve(name)
+        info = curve.describe()
+        rows.append(
+            {
+                "curve": name,
+                "log_|t|": info["log_u"],
+                "log_p": info["log_p"],
+                "log_r": info["log_r"],
+                "k_log_p": info["k_log_p"],
+                "security_bits": info["security_bits"],
+                "k": info["k"],
+            }
+        )
+    return {"experiment": "table2", "rows": rows}
+
+
+def render(result: dict) -> str:
+    header = f"{'Curve':<12}{'log|t|':>8}{'logp':>6}{'logr':>6}{'klogp':>8}{'Sec(bit)':>10}"
+    lines = [header]
+    for row in result["rows"]:
+        lines.append(
+            f"{row['curve']:<12}{row['log_|t|']:>8}{row['log_p']:>6}{row['log_r']:>6}"
+            f"{row['k_log_p']:>8}{row['security_bits']:>10}"
+        )
+    return "\n".join(lines)

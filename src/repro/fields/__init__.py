@@ -1,0 +1,39 @@
+"""Finite-field operator kit: F_p, extension towers, Frobenius and operator variants."""
+
+from repro.fields.fp import PrimeField, FpElement
+from repro.fields.extension import ExtensionField, ExtElement
+from repro.fields.tower import (
+    PairingTower,
+    build_extension,
+    build_pairing_tower,
+    find_quadratic_nonresidue,
+    is_square,
+    is_cube,
+)
+from repro.fields.variants import (
+    Variant,
+    VariantConfig,
+    VariantCost,
+    get_variant,
+    list_variants,
+    VARIANT_REGISTRY,
+)
+
+__all__ = [
+    "PrimeField",
+    "FpElement",
+    "ExtensionField",
+    "ExtElement",
+    "PairingTower",
+    "build_extension",
+    "build_pairing_tower",
+    "find_quadratic_nonresidue",
+    "is_square",
+    "is_cube",
+    "Variant",
+    "VariantConfig",
+    "VariantCost",
+    "get_variant",
+    "list_variants",
+    "VARIANT_REGISTRY",
+]

@@ -1,0 +1,161 @@
+"""Base prime field F_p and its elements.
+
+Elements are thin immutable wrappers around Python integers; all higher tower
+levels are built on top of this class by :mod:`repro.fields.extension`.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import FieldError
+
+
+class PrimeField:
+    """The prime field F_p.
+
+    The same object doubles as the degree-1 "tower level" so that generic code can
+    treat F_p and its extensions uniformly (``degree``, ``zero``, ``one``,
+    ``from_base_coeffs`` ...).
+    """
+
+    __slots__ = ("p", "_one", "_zero")
+
+    def __init__(self, p: int):
+        if p < 3 or p % 2 == 0:
+            raise FieldError("PrimeField requires an odd prime modulus")
+        self.p = p
+        self._zero = None
+        self._one = None
+
+    # -- structural properties -------------------------------------------------
+    @property
+    def characteristic(self) -> int:
+        return self.p
+
+    @property
+    def degree(self) -> int:
+        """Extension degree over F_p (1 for the base field itself)."""
+        return 1
+
+    def order(self) -> int:
+        return self.p
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, PrimeField) and other.p == self.p
+
+    def __hash__(self) -> int:
+        return hash(("PrimeField", self.p))
+
+    def __repr__(self) -> str:
+        return f"F_p(bits={self.p.bit_length()})"
+
+    # -- element constructors ---------------------------------------------------
+    def element(self, value: int) -> "FpElement":
+        return FpElement(self, value % self.p)
+
+    def __call__(self, value) -> "FpElement":
+        if isinstance(value, FpElement):
+            if value.field != self:
+                raise FieldError("element belongs to a different prime field")
+            return value
+        return self.element(int(value))
+
+    def zero(self) -> "FpElement":
+        if self._zero is None:
+            self._zero = self.element(0)
+        return self._zero
+
+    def one(self) -> "FpElement":
+        if self._one is None:
+            self._one = self.element(1)
+        return self._one
+
+    def random(self, rng: random.Random) -> "FpElement":
+        return self.element(rng.randrange(self.p))
+
+    def from_base_coeffs(self, coeffs) -> "FpElement":
+        """Build an element from its flat F_p coefficient list (length 1)."""
+        if len(coeffs) != 1:
+            raise FieldError("F_p elements have exactly one coefficient")
+        return self.element(int(coeffs[0]))
+
+
+class FpElement:
+    """An element of F_p."""
+
+    __slots__ = ("field", "value")
+
+    def __init__(self, field: PrimeField, value: int):
+        self.field = field
+        self.value = value
+
+    # -- ring operations ---------------------------------------------------------
+    def __add__(self, other: "FpElement") -> "FpElement":
+        return FpElement(self.field, (self.value + other.value) % self.field.p)
+
+    def __sub__(self, other: "FpElement") -> "FpElement":
+        return FpElement(self.field, (self.value - other.value) % self.field.p)
+
+    def __mul__(self, other: "FpElement") -> "FpElement":
+        if not isinstance(other, FpElement):
+            return NotImplemented
+        return FpElement(self.field, (self.value * other.value) % self.field.p)
+
+    def __neg__(self) -> "FpElement":
+        return FpElement(self.field, (-self.value) % self.field.p)
+
+    def square(self) -> "FpElement":
+        return FpElement(self.field, (self.value * self.value) % self.field.p)
+
+    def mul_small(self, k: int) -> "FpElement":
+        """Multiply by a small (possibly negative) integer constant."""
+        return FpElement(self.field, (self.value * k) % self.field.p)
+
+    def double(self) -> "FpElement":
+        return self.mul_small(2)
+
+    def triple(self) -> "FpElement":
+        return self.mul_small(3)
+
+    def inverse(self) -> "FpElement":
+        if self.value == 0:
+            raise FieldError("zero has no inverse")
+        return FpElement(self.field, pow(self.value, -1, self.field.p))
+
+    def __pow__(self, exponent: int) -> "FpElement":
+        exponent = int(exponent)
+        if exponent < 0:
+            return self.inverse() ** (-exponent)
+        return FpElement(self.field, pow(self.value, exponent, self.field.p))
+
+    # -- tower-uniform operations -------------------------------------------------
+    def frobenius(self, n: int = 1) -> "FpElement":
+        """The Frobenius endomorphism is the identity on F_p."""
+        return self
+
+    def conjugate(self) -> "FpElement":
+        return self
+
+    # -- structure ----------------------------------------------------------------
+    def is_zero(self) -> bool:
+        return self.value == 0
+
+    def is_one(self) -> bool:
+        return self.value == 1
+
+    def to_base_coeffs(self) -> list:
+        return [self.value]
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, FpElement)
+            and other.field == self.field
+            and other.value == self.value
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.field.p, self.value))
+
+    def __repr__(self) -> str:
+        return f"Fp({self.value})"

@@ -1,0 +1,96 @@
+"""Area/delay model of the hierarchical Karatsuba-Wallace modular multiplier.
+
+The paper's mmul unit (Figure 5c) is built from W-bit basic multipliers (FPGA
+DSP blocks or ASIC multiplier IP), combined by Wallace trees into 2W..5W blocks
+and then recursively by integer Karatsuba up to the operand width, with deep
+pipelining for throughput and Montgomery reduction folded into the pipeline.
+
+We model the resulting cell area with three calibrated components:
+
+* basic multiplier array -- grows with the Karatsuba exponent (limbs^log2(3)),
+  which is what keeps the area growth "slightly above linear" in Figure 8;
+* pipeline registers -- proportional to (pipeline depth x operand width);
+* reduction/adder logic -- proportional to the operand width.
+
+Constants are calibrated so that a 254-bit, 38-stage unit matches the paper's
+reported ALU area breakdown (0.55 mm^2 in 40 nm).  See DESIGN.md substitution #1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil, log2
+
+#: Effective area (um^2, 40 nm) of one W x W basic multiplier including its share
+#: of the Wallace compressors and the Montgomery datapath.
+BASIC_MULT_UM2 = 3300.0
+#: Area per pipeline-register bit (um^2, 40 nm); roughly 3 operand-wide registers
+#: per stage.
+PIPELINE_REG_UM2_PER_BIT = 2.5
+PIPELINE_REG_WIDTH_FACTOR = 3.0
+#: Reduction adders / final correction, per operand bit.
+ADDER_UM2_PER_BIT = 20.0
+
+
+@dataclass(frozen=True)
+class MultiplierEstimate:
+    """Synthesis-model output for one mmul configuration."""
+
+    word_width: int
+    pipeline_depth: int
+    dsp_width: int
+    basic_multipliers: int
+    karatsuba_levels: int
+    area_um2: float
+    naive_area_um2: float
+
+    @property
+    def area_mm2(self) -> float:
+        return self.area_um2 / 1e6
+
+    @property
+    def karatsuba_saving(self) -> float:
+        """Fractional area saved versus a schoolbook multiplier array."""
+        return 1.0 - self.area_um2 / self.naive_area_um2
+
+
+def karatsuba_multiplier_count(limbs: int) -> int:
+    """Number of basic multipliers with recursive Karatsuba splitting.
+
+    Base blocks cover 2..5 limbs directly (Wallace trees); wider operands are
+    split recursively in halves, each level costing 3 sub-multiplications.
+    """
+    if limbs <= 1:
+        return 1
+    if limbs <= 5:
+        # Wallace-tree block: schoolbook at this size (limbs^2 basic products).
+        return limbs * limbs
+    half = ceil(limbs / 2)
+    return 3 * karatsuba_multiplier_count(half)
+
+
+def schoolbook_multiplier_count(limbs: int) -> int:
+    return max(1, limbs * limbs)
+
+
+def estimate_multiplier(word_width: int, pipeline_depth: int, dsp_width: int = 16) -> MultiplierEstimate:
+    """Area estimate of the modular multiplier for the given configuration."""
+    limbs = max(1, ceil(word_width / dsp_width))
+    n_mults = karatsuba_multiplier_count(limbs)
+    n_naive = schoolbook_multiplier_count(limbs)
+    levels = max(0, ceil(log2(max(1.0, limbs / 5))))
+
+    mult_area = n_mults * BASIC_MULT_UM2
+    reg_area = pipeline_depth * word_width * PIPELINE_REG_WIDTH_FACTOR * PIPELINE_REG_UM2_PER_BIT
+    adder_area = word_width * ADDER_UM2_PER_BIT
+    naive_area = n_naive * BASIC_MULT_UM2 + reg_area + adder_area
+
+    return MultiplierEstimate(
+        word_width=word_width,
+        pipeline_depth=pipeline_depth,
+        dsp_width=dsp_width,
+        basic_multipliers=n_mults,
+        karatsuba_levels=levels,
+        area_um2=mult_area + reg_area + adder_area,
+        naive_area_um2=naive_area,
+    )

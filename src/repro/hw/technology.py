@@ -1,0 +1,47 @@
+"""Technology nodes and scaling (Stillmaker-Baas style equivalence factors).
+
+The paper compares its 40 nm LP synthesis results against a 65 nm baseline by
+applying published scaling equations.  We encode per-node area/delay/power
+factors relative to the 40 nm reference, chosen to reproduce the normalised row
+of Table 6 (8.00 mm^2 / 769 MHz at 40 nm -> 12.0 mm^2 / 423 MHz at 65 nm).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import HardwareModelError
+
+
+@dataclass(frozen=True)
+class TechnologyNode:
+    name: str
+    feature_nm: int
+    #: Multiplicative factors relative to the 40 nm LP reference.
+    area_factor: float
+    delay_factor: float
+    power_factor: float
+
+    def scale_area_mm2(self, area_mm2: float) -> float:
+        return area_mm2 * self.area_factor
+
+    def scale_frequency_mhz(self, frequency_mhz: float) -> float:
+        return frequency_mhz / self.delay_factor
+
+    def scale_delay(self, delay: float) -> float:
+        return delay * self.delay_factor
+
+
+TECH_40NM = TechnologyNode("40nm LP", 40, area_factor=1.0, delay_factor=1.0, power_factor=1.0)
+TECH_65NM = TechnologyNode("65nm", 65, area_factor=1.50, delay_factor=1.82, power_factor=1.9)
+TECH_28NM = TechnologyNode("28nm", 28, area_factor=0.49, delay_factor=0.72, power_factor=0.55)
+TECH_16NM = TechnologyNode("16nm", 16, area_factor=0.20, delay_factor=0.48, power_factor=0.30)
+
+_NODES = {node.feature_nm: node for node in (TECH_40NM, TECH_65NM, TECH_28NM, TECH_16NM)}
+
+
+def get_node(feature_nm: int) -> TechnologyNode:
+    try:
+        return _NODES[feature_nm]
+    except KeyError as exc:
+        raise HardwareModelError(f"unknown technology node {feature_nm} nm") from exc

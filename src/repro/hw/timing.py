@@ -1,0 +1,50 @@
+"""Timing model: critical-path delay and clock frequency.
+
+The mmul unit dominates the critical path.  Its combinational depth is split
+across ``long_latency`` pipeline stages, so the stage delay falls roughly as
+``t_comb / depth`` plus a register overhead, until routing/setup imposes a
+floor.  Constants are calibrated so a 254-bit unit reaches the paper's 769 MHz
+at 38 stages and saturates shortly after -- reproducing the "optimal depth"
+co-design result of Figure 11.
+"""
+
+from __future__ import annotations
+
+from math import log2
+
+from repro.hw.technology import TECH_40NM, TechnologyNode
+
+#: Flip-flop + clock overhead per stage (ns, 40 nm).
+REGISTER_OVERHEAD_NS = 0.20
+#: Total combinational delay of the 254-bit Montgomery-Karatsuba datapath (ns).
+COMB_DELAY_254_NS = 41.8
+#: Minimum achievable stage delay for a 254-bit datapath (routing/SRAM limited).
+FLOOR_254_NS = 1.30
+#: Width scaling exponents.
+COMB_WIDTH_EXPONENT = 1.0
+FLOOR_WIDTH_EXPONENT = 0.22
+
+
+def _width_scale(word_width: int, exponent: float) -> float:
+    return (max(word_width, 16) / 254.0) ** exponent
+
+
+def combinational_delay_ns(word_width: int) -> float:
+    """Unpipelined delay of the modular multiplier datapath."""
+    depth_scale = 1.0 + 0.15 * log2(max(word_width, 16) / 254.0) if word_width > 254 else 1.0
+    return COMB_DELAY_254_NS * _width_scale(word_width, COMB_WIDTH_EXPONENT) * max(depth_scale, 0.8)
+
+
+def critical_path_ns(word_width: int, long_latency: int,
+                     technology: TechnologyNode = TECH_40NM) -> float:
+    """Critical-path (stage) delay for the given pipeline depth."""
+    comb = combinational_delay_ns(word_width)
+    floor = FLOOR_254_NS * _width_scale(word_width, FLOOR_WIDTH_EXPONENT)
+    stage = REGISTER_OVERHEAD_NS + comb / max(1, long_latency)
+    return technology.scale_delay(max(stage, floor))
+
+
+def frequency_mhz(word_width: int, long_latency: int,
+                  technology: TechnologyNode = TECH_40NM) -> float:
+    """Achievable clock frequency in MHz."""
+    return 1000.0 / critical_path_ns(word_width, long_latency, technology)

@@ -1,0 +1,26 @@
+"""Finesse IR: typed SSA representation of pairing computations.
+
+Two levels share one container (:class:`repro.ir.module.IRModule`):
+
+* the *high-level* IR produced by tracing the pairing algorithm (Table 4 ops on
+  ``fp``/``fpd`` values), and
+* the *F_p-level* IR obtained by the lowering pass, whose ops map one-to-one to
+  the ISA of :mod:`repro.isa`.
+"""
+
+from repro.ir.ops import HIGH_LEVEL_OPS, LOW_LEVEL_OPS, OpInfo, op_info
+from repro.ir.module import Instruction, IRModule
+from repro.ir.builder import IRBuilder, TraceElement
+from repro.ir.lowering import lower_module
+
+__all__ = [
+    "OpInfo",
+    "op_info",
+    "HIGH_LEVEL_OPS",
+    "LOW_LEVEL_OPS",
+    "Instruction",
+    "IRModule",
+    "IRBuilder",
+    "TraceElement",
+    "lower_module",
+]

@@ -1,0 +1,142 @@
+"""Tracing builder: runs the generic pairing code and records high-level IR.
+
+:class:`TraceElement` implements the same element interface as the concrete
+field elements (``+``, ``*``, ``square``, ``frobenius`` ...), so the very same
+Miller-loop / final-exponentiation code that produces the golden value also
+produces the accelerator's IR -- the paper's CodeGen stage.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IRError
+from repro.ir.module import IRModule
+
+
+class IRBuilder:
+    """Builds a high-level IR module by tracing element operations."""
+
+    def __init__(self, name: str = "pairing"):
+        self.module = IRModule(name=name, level="high")
+        self._const_cache: dict = {}
+
+    # -- raw emission -------------------------------------------------------------
+    def emit(self, op: str, args: tuple, degree: int, attr=None) -> int:
+        return self.module.emit(op, args, degree=degree, attr=attr)
+
+    # -- value creation ------------------------------------------------------------
+    def input(self, field, name: str) -> "TraceElement":
+        vid = self.emit("input", (), field.degree, attr=name)
+        return TraceElement(self, vid, field)
+
+    def constant(self, element) -> "TraceElement":
+        key = (element.field.degree, tuple(element.to_base_coeffs()))
+        vid = self._const_cache.get(key)
+        if vid is None:
+            vid = self.emit("const", (), element.field.degree, attr=element)
+            self._const_cache[key] = vid
+        return TraceElement(self, vid, element.field)
+
+    def output(self, value: "TraceElement", name: str) -> int:
+        return self.emit("output", (value.vid,), value.field.degree, attr=name)
+
+    def pack(self, parts: list, result_field) -> "TraceElement":
+        """Assemble a full-field value from twist-field coefficients (w-power basis)."""
+        vids = tuple(part.vid for part in parts)
+        vid = self.emit("pack", vids, result_field.degree)
+        return TraceElement(self, vid, result_field)
+
+
+class TraceElement:
+    """A symbolic field element recording the operations applied to it."""
+
+    __slots__ = ("builder", "vid", "field")
+
+    def __init__(self, builder: IRBuilder, vid: int, field):
+        self.builder = builder
+        self.vid = vid
+        self.field = field
+
+    # -- helpers -------------------------------------------------------------------
+    def _emit(self, op: str, args: tuple, field, attr=None) -> "TraceElement":
+        vid = self.builder.emit(op, args, field.degree, attr)
+        return TraceElement(self.builder, vid, field)
+
+    def _coerce(self, other) -> "TraceElement":
+        if isinstance(other, TraceElement):
+            if other.builder is not self.builder:
+                raise IRError("cannot mix values from different builders")
+            return other
+        # Concrete constants get recorded as const instructions.
+        if hasattr(other, "field"):
+            return self.builder.constant(other)
+        raise IRError(f"cannot trace operand {other!r}")
+
+    # -- arithmetic -----------------------------------------------------------------
+    def __add__(self, other) -> "TraceElement":
+        other = self._coerce(other)
+        if other.field.degree != self.field.degree:
+            raise IRError("add requires operands of equal degree")
+        return self._emit("add", (self.vid, other.vid), self.field)
+
+    def __sub__(self, other) -> "TraceElement":
+        other = self._coerce(other)
+        if other.field.degree != self.field.degree:
+            raise IRError("sub requires operands of equal degree")
+        return self._emit("sub", (self.vid, other.vid), self.field)
+
+    def __neg__(self) -> "TraceElement":
+        return self._emit("neg", (self.vid,), self.field)
+
+    def __mul__(self, other) -> "TraceElement":
+        other = self._coerce(other)
+        if other.field.degree == self.field.degree and other.field != self.field:
+            raise IRError("mul requires operands from the same tower")
+        if self.field.degree >= other.field.degree:
+            big, small = self, other
+        else:
+            big, small = other, self
+        if big.field.degree % small.field.degree != 0:
+            raise IRError("mixed mul requires divisible degrees")
+        return self._emit("mul", (big.vid, small.vid), big.field)
+
+    __rmul__ = __mul__
+
+    def square(self) -> "TraceElement":
+        return self._emit("sqr", (self.vid,), self.field)
+
+    def mul_small(self, k: int) -> "TraceElement":
+        return self._emit("muli", (self.vid,), self.field, attr=int(k))
+
+    def double(self) -> "TraceElement":
+        return self.mul_small(2)
+
+    def triple(self) -> "TraceElement":
+        return self.mul_small(3)
+
+    def inverse(self) -> "TraceElement":
+        return self._emit("inv", (self.vid,), self.field)
+
+    def conjugate(self) -> "TraceElement":
+        return self._emit("conj", (self.vid,), self.field)
+
+    def frobenius(self, n: int = 1) -> "TraceElement":
+        n = n % self.field.degree if self.field.degree > 1 else 0
+        if n == 0:
+            return self
+        return self._emit("frob", (self.vid,), self.field, attr=int(n))
+
+    def __pow__(self, exponent: int) -> "TraceElement":
+        exponent = int(exponent)
+        if exponent < 0:
+            return self.inverse() ** (-exponent)
+        if exponent == 0:
+            return self.builder.constant(self.field.one())
+        result = self
+        for bit in bin(exponent)[3:]:
+            result = result.square()
+            if bit == "1":
+                result = result * self
+        return result
+
+    def __repr__(self) -> str:
+        return f"TraceElement(%{self.vid}: fp{self.field.degree})"

@@ -1,0 +1,119 @@
+"""IR interpreters: execute high-level or F_p-level modules on concrete data.
+
+Used by the test-suite to prove that lowering and the optimisation passes are
+semantics-preserving, and by the functional-simulation flow as the pre-assembly
+oracle.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IRError, SimulationError
+
+
+def interpret_low_level(module, p: int, inputs: dict) -> dict:
+    """Execute an F_p-level module.
+
+    ``inputs`` maps the attribute of each ``input`` instruction to an integer.
+    Returns a dict mapping output attributes to integers.
+    """
+    values: list = [None] * len(module.instructions)
+    outputs: dict = {}
+    for vid, instr in enumerate(module.instructions):
+        op = instr.op
+        args = instr.args
+        if op == "input":
+            if instr.attr not in inputs:
+                raise SimulationError(f"missing input {instr.attr!r}")
+            values[vid] = inputs[instr.attr] % p
+        elif op == "const":
+            values[vid] = instr.attr % p
+        elif op == "output":
+            value = values[args[0]]
+            outputs[instr.attr] = value
+            values[vid] = value
+        elif op == "add":
+            values[vid] = (values[args[0]] + values[args[1]]) % p
+        elif op == "sub":
+            values[vid] = (values[args[0]] - values[args[1]]) % p
+        elif op == "neg":
+            values[vid] = (-values[args[0]]) % p
+        elif op == "dbl":
+            values[vid] = (values[args[0]] * 2) % p
+        elif op == "tpl":
+            values[vid] = (values[args[0]] * 3) % p
+        elif op == "muli":
+            values[vid] = (values[args[0]] * instr.attr) % p
+        elif op == "mul":
+            values[vid] = (values[args[0]] * values[args[1]]) % p
+        elif op == "sqr":
+            values[vid] = (values[args[0]] * values[args[0]]) % p
+        elif op == "inv":
+            values[vid] = pow(values[args[0]], -1, p)
+        elif op in ("cvt", "icv"):
+            values[vid] = values[args[0]]
+        else:
+            raise IRError(f"cannot interpret low-level op {op!r}")
+    return outputs
+
+
+def interpret_high_level(module, levels: dict, inputs: dict) -> dict:
+    """Execute a high-level module on concrete field elements.
+
+    ``inputs`` maps input attributes to concrete elements; outputs are returned
+    as concrete elements keyed by output attribute.
+    """
+    values: list = [None] * len(module.instructions)
+    outputs: dict = {}
+
+    def field_of(degree: int):
+        try:
+            return levels[degree]
+        except KeyError as exc:
+            raise IRError(f"no tower level of degree {degree}") from exc
+
+    for vid, instr in enumerate(module.instructions):
+        op = instr.op
+        args = instr.args
+        if op == "input":
+            if instr.attr not in inputs:
+                raise SimulationError(f"missing input {instr.attr!r}")
+            values[vid] = inputs[instr.attr]
+        elif op == "const":
+            values[vid] = instr.attr
+        elif op == "output":
+            outputs[instr.attr] = values[args[0]]
+            values[vid] = values[args[0]]
+        elif op == "add":
+            values[vid] = values[args[0]] + values[args[1]]
+        elif op == "sub":
+            values[vid] = values[args[0]] - values[args[1]]
+        elif op == "neg":
+            values[vid] = -values[args[0]]
+        elif op == "muli":
+            values[vid] = values[args[0]].mul_small(instr.attr)
+        elif op == "mul":
+            values[vid] = values[args[0]] * values[args[1]]
+        elif op == "sqr":
+            values[vid] = values[args[0]].square()
+        elif op == "inv":
+            values[vid] = values[args[0]].inverse()
+        elif op == "conj":
+            values[vid] = values[args[0]].conjugate()
+        elif op == "frob":
+            values[vid] = values[args[0]].frobenius(instr.attr)
+        elif op == "exp":
+            values[vid] = values[args[0]] ** instr.attr
+        elif op == "adj":
+            values[vid] = values[args[0]].mul_by_nonresidue()
+        elif op == "pack":
+            parts = [values[a] for a in args]
+            field = field_of(instr.degree)
+            mid = field.base
+            twist = mid.base
+            resolved = [twist.zero() if part is None else part for part in parts]
+            mid0 = mid.element((resolved[0], resolved[2], resolved[4]))
+            mid1 = mid.element((resolved[1], resolved[3], resolved[5]))
+            values[vid] = field.element((mid0, mid1))
+        else:
+            raise IRError(f"cannot interpret high-level op {op!r}")
+    return outputs

@@ -1,0 +1,95 @@
+"""SSA IR container.
+
+Values are identified by their defining instruction's index, which keeps the
+representation compact enough to handle the several hundred thousand F_p
+instructions of the largest curves.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IRError
+from repro.ir.ops import op_info
+
+
+class Instruction:
+    """One SSA instruction: ``%id = op(args) : degree [attr]``."""
+
+    __slots__ = ("op", "args", "degree", "attr")
+
+    def __init__(self, op: str, args: tuple, degree: int = 1, attr=None):
+        self.op = op
+        self.args = args
+        self.degree = degree
+        self.attr = attr
+
+    def __repr__(self) -> str:
+        attr = f" attr={self.attr!r}" if self.attr is not None else ""
+        return f"{self.op}({', '.join(map(str, self.args))}) : fp{self.degree}{attr}"
+
+
+class IRModule:
+    """A single-basic-block SSA module (the pairing kernel is fully unrolled)."""
+
+    def __init__(self, name: str = "module", level: str = "high"):
+        self.name = name
+        self.level = level                 # "high" or "low"
+        self.instructions: list = []
+        self.inputs: list = []             # instruction ids of input ops
+        self.outputs: list = []            # instruction ids of output ops
+
+    # -- construction ------------------------------------------------------------
+    def emit(self, op: str, args: tuple = (), degree: int = 1, attr=None) -> int:
+        instr = Instruction(op, tuple(args), degree, attr)
+        self.instructions.append(instr)
+        vid = len(self.instructions) - 1
+        if op == "input":
+            self.inputs.append(vid)
+        elif op == "output":
+            self.outputs.append(vid)
+        return vid
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self):
+        return iter(self.instructions)
+
+    # -- inspection --------------------------------------------------------------
+    def op_histogram(self) -> dict:
+        histogram: dict = {}
+        for instr in self.instructions:
+            histogram[instr.op] = histogram.get(instr.op, 0) + 1
+        return histogram
+
+    def count_compute_ops(self) -> int:
+        """Number of instructions that occupy an issue slot (everything except
+        structural const/input/output markers)."""
+        skip = ("const", "input", "output")
+        return sum(1 for instr in self.instructions if instr.op not in skip)
+
+    def dump(self, limit: int | None = None) -> str:
+        """Readable listing (useful for small modules and documentation examples)."""
+        lines = []
+        for vid, instr in enumerate(self.instructions):
+            if limit is not None and vid >= limit:
+                lines.append(f"... ({len(self.instructions) - limit} more)")
+                break
+            lines.append(f"%{vid} = {instr!r}")
+        return "\n".join(lines)
+
+    # -- validation ---------------------------------------------------------------
+    def validate(self) -> None:
+        """Structural SSA validation; raises :class:`~repro.errors.IRError`."""
+        for vid, instr in enumerate(self.instructions):
+            info = op_info(instr.op)
+            if info.arity >= 0 and len(instr.args) != info.arity:
+                raise IRError(
+                    f"%{vid} = {instr.op}: expected {info.arity} args, got {len(instr.args)}"
+                )
+            if info.has_attr and instr.attr is None:
+                raise IRError(f"%{vid} = {instr.op}: missing attribute")
+            for arg in instr.args:
+                if not (0 <= arg < vid):
+                    raise IRError(f"%{vid} = {instr.op}: argument %{arg} not yet defined (SSA violation)")
+            if self.level == "low" and instr.degree != 1:
+                raise IRError(f"%{vid}: low-level IR must only contain degree-1 values")

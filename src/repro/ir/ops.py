@@ -1,0 +1,78 @@
+"""IR operation definitions.
+
+High-level ops follow Table 4 of the paper (plus ``inv``, ``pack``, ``input``,
+``output`` and ``const`` which the paper's prose implies but the table omits).
+Low-level (F_p) ops correspond one-to-one to ISA machine operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import IRError
+
+
+@dataclass(frozen=True)
+class OpInfo:
+    """Static properties of an IR operation."""
+
+    name: str
+    arity: int                  # -1 means variadic
+    commutative: bool = False
+    has_attr: bool = False      # carries an immediate attribute (constant, frobenius power...)
+    is_linear: bool = True      # linear ops map to Short hardware units
+    level: str = "both"         # "high", "low" or "both"
+
+
+_OPS = [
+    # Structural ops.
+    OpInfo("input", 0, has_attr=True, level="both"),
+    OpInfo("output", 1, has_attr=True, level="both"),
+    OpInfo("const", 0, has_attr=True, level="both"),
+    # Field arithmetic (Table 4).
+    OpInfo("add", 2, commutative=True, level="both"),
+    OpInfo("sub", 2, level="both"),
+    OpInfo("neg", 1, level="both"),
+    OpInfo("muli", 1, has_attr=True, level="both"),
+    OpInfo("mul", 2, commutative=True, is_linear=False, level="both"),
+    OpInfo("sqr", 1, is_linear=False, level="both"),
+    OpInfo("inv", 1, is_linear=False, level="both"),
+    OpInfo("exp", 1, has_attr=True, is_linear=False, level="high"),
+    OpInfo("adj", 1, level="high"),
+    OpInfo("conj", 1, level="high"),
+    OpInfo("frob", 1, has_attr=True, level="high"),
+    OpInfo("pack", -1, level="high"),
+    # Curve ops of Table 4 (kept for the operator-kit demonstrations; the pairing
+    # code generator expands point arithmetic at trace time).
+    OpInfo("padd", 2, level="high"),
+    OpInfo("pdbl", 1, level="high"),
+    OpInfo("pmul", 1, has_attr=True, level="high"),
+    # Low-level only linear ops (strength-reduced forms).
+    OpInfo("dbl", 1, level="low"),
+    OpInfo("tpl", 1, level="low"),
+    # I/O format conversions of the ISA (modelled as linear unit ops).
+    OpInfo("cvt", 1, level="low"),
+    OpInfo("icv", 1, level="low"),
+]
+
+_OP_TABLE = {op.name: op for op in _OPS}
+
+HIGH_LEVEL_OPS = frozenset(op.name for op in _OPS if op.level in ("high", "both"))
+LOW_LEVEL_OPS = frozenset(op.name for op in _OPS if op.level in ("low", "both")) - {"pack"}
+
+
+def op_info(name: str) -> OpInfo:
+    try:
+        return _OP_TABLE[name]
+    except KeyError as exc:
+        raise IRError(f"unknown IR operation {name!r}") from exc
+
+
+def is_multiplicative(name: str) -> bool:
+    """True for ops executed on the Long (modular multiplier) pipeline."""
+    return name in ("mul", "sqr")
+
+
+def is_linear(name: str) -> bool:
+    """True for ops executed on the Short (linear) pipeline."""
+    return name in ("add", "sub", "neg", "dbl", "tpl", "muli", "cvt", "icv")

@@ -1,0 +1,72 @@
+"""Binary instruction encodings.
+
+The default format packs one operation into a 32-bit word (like the hex words in
+Figure 3 of the paper); a 64-bit format is available for programs that need more
+than 512 architectural registers.  VLIW bundles are sequences of words with the
+bundle width fixed by the hardware model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ISAError
+from repro.isa.instructions import OPCODES, MachineOp
+
+
+@dataclass(frozen=True)
+class EncodingFormat:
+    """Bit layout of one instruction word: | opcode | rd | rs1 | rs2 |."""
+
+    name: str
+    word_bits: int
+    opcode_bits: int
+    register_bits: int
+
+    @property
+    def max_registers(self) -> int:
+        return 1 << self.register_bits
+
+    def validate(self) -> None:
+        if self.opcode_bits + 3 * self.register_bits > self.word_bits:
+            raise ISAError("encoding fields exceed the word size")
+
+
+ENCODING_32 = EncodingFormat("enc32", 32, 5, 9)
+ENCODING_64 = EncodingFormat("enc64", 64, 8, 16)
+
+
+def select_encoding(register_count: int) -> EncodingFormat:
+    """Smallest encoding able to address ``register_count`` registers."""
+    if register_count <= ENCODING_32.max_registers:
+        return ENCODING_32
+    if register_count <= ENCODING_64.max_registers:
+        return ENCODING_64
+    raise ISAError(f"register demand {register_count} exceeds every encoding format")
+
+
+def encode_word(fmt: EncodingFormat, op: MachineOp, rd: int, rs1: int = 0, rs2: int = 0) -> int:
+    limit = fmt.max_registers
+    if op.opcode >= (1 << fmt.opcode_bits):
+        raise ISAError(f"opcode {op.opcode} does not fit in {fmt.opcode_bits} bits")
+    for reg in (rd, rs1, rs2):
+        if not 0 <= reg < limit:
+            raise ISAError(f"register index {reg} does not fit in {fmt.register_bits} bits")
+    word = op.opcode
+    word = (word << fmt.register_bits) | rd
+    word = (word << fmt.register_bits) | rs1
+    word = (word << fmt.register_bits) | rs2
+    return word
+
+
+def decode_word(fmt: EncodingFormat, word: int) -> tuple:
+    """Decode a word into (MachineOp, rd, rs1, rs2)."""
+    mask = fmt.max_registers - 1
+    rs2 = word & mask
+    rs1 = (word >> fmt.register_bits) & mask
+    rd = (word >> (2 * fmt.register_bits)) & mask
+    opcode = word >> (3 * fmt.register_bits)
+    op = OPCODES.get(opcode)
+    if op is None:
+        raise ISAError(f"unknown opcode {opcode:#x}")
+    return op, rd, rs1, rs2

@@ -1,0 +1,80 @@
+"""Quadratic residues and modular square roots over prime fields."""
+
+from __future__ import annotations
+
+from repro.errors import FieldError
+
+
+def jacobi_symbol(a: int, n: int) -> int:
+    """Compute the Jacobi symbol ``(a/n)`` for odd ``n > 0``."""
+    if n <= 0 or n % 2 == 0:
+        raise ValueError("Jacobi symbol requires an odd positive modulus")
+    a %= n
+    result = 1
+    while a != 0:
+        while a % 2 == 0:
+            a //= 2
+            if n % 8 in (3, 5):
+                result = -result
+        a, n = n, a
+        if a % 4 == 3 and n % 4 == 3:
+            result = -result
+        a %= n
+    return result if n == 1 else 0
+
+
+def legendre_symbol(a: int, p: int) -> int:
+    """Compute the Legendre symbol ``(a/p)`` for an odd prime ``p``."""
+    return jacobi_symbol(a, p)
+
+
+def is_square_mod_prime(a: int, p: int) -> bool:
+    """Return ``True`` if ``a`` is a quadratic residue modulo the odd prime ``p``."""
+    a %= p
+    if a == 0:
+        return True
+    return legendre_symbol(a, p) == 1
+
+
+def sqrt_mod_prime(a: int, p: int) -> int:
+    """Return a square root of ``a`` modulo the odd prime ``p`` (Tonelli-Shanks).
+
+    Raises :class:`~repro.errors.FieldError` if ``a`` is not a quadratic residue.
+    """
+    a %= p
+    if a == 0:
+        return 0
+    if p == 2:
+        return a
+    if not is_square_mod_prime(a, p):
+        raise FieldError(f"{a} is not a quadratic residue mod {p}")
+    if p % 4 == 3:
+        return pow(a, (p + 1) // 4, p)
+
+    # Tonelli-Shanks for p = 1 mod 4.
+    q = p - 1
+    s = 0
+    while q % 2 == 0:
+        q //= 2
+        s += 1
+    z = 2
+    while legendre_symbol(z, p) != -1:
+        z += 1
+    m = s
+    c = pow(z, q, p)
+    t = pow(a, q, p)
+    r = pow(a, (q + 1) // 2, p)
+    while t != 1:
+        i = 0
+        t2 = t
+        while t2 != 1:
+            t2 = (t2 * t2) % p
+            i += 1
+            if i == m:
+                raise FieldError("sqrt_mod_prime internal failure")
+        b = pow(c, 1 << (m - i - 1), p)
+        m = i
+        c = (b * b) % p
+        t = (t * c) % p
+        r = (r * b) % p
+    return r

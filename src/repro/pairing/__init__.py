@@ -1,0 +1,13 @@
+"""Optimal Ate pairing: Miller loop, final exponentiation, reference implementation."""
+
+from repro.pairing.ate import optimal_ate_pairing
+from repro.pairing.context import ConcretePairingContext, PairingContext
+from repro.pairing.exponent import FinalExpPlan, solve_final_exp_plan
+
+__all__ = [
+    "optimal_ate_pairing",
+    "PairingContext",
+    "ConcretePairingContext",
+    "FinalExpPlan",
+    "solve_final_exp_plan",
+]

@@ -1,0 +1,52 @@
+"""Public entry point for the optimal Ate pairing."""
+
+from __future__ import annotations
+
+from repro.errors import PairingError
+from repro.pairing.context import ConcretePairingContext
+from repro.pairing.final_exp import final_exponentiation
+from repro.pairing.miller import miller_loop
+from repro.pairing.reference import reference_pairing
+
+
+def _as_affine_pair(point):
+    """Accept either an (x, y) tuple or an AffinePoint-like object."""
+    if isinstance(point, tuple):
+        return point
+    if getattr(point, "is_infinity", None) is not None and point.is_infinity():
+        return None
+    return (point.x, point.y)
+
+
+def optimal_ate_pairing(curve, P, Q, mode: str = "optimized", use_naf: bool = True):
+    """Compute the optimal Ate pairing e(P, Q) on ``curve``.
+
+    Parameters
+    ----------
+    curve:
+        A :class:`repro.curves.catalog.PairingCurve`.
+    P:
+        G1 point: affine point of E(F_p) (AffinePoint or (x, y) tuple).
+    Q:
+        G2 point: affine point of the sextic twist E'(F_p^{k/6}).
+    mode:
+        ``"optimized"`` runs the twist-aware Miller loop and the decomposed final
+        exponentiation (the algorithm the accelerator executes); ``"reference"``
+        runs the naive textbook oracle.  The optimised result equals the
+        reference result raised to ``final_exp_plan.c``.
+    use_naf:
+        Use the NAF form of the loop scalar (optimised mode only).
+    """
+    P_affine = _as_affine_pair(P)
+    Q_affine = _as_affine_pair(Q)
+    if P_affine is None or Q_affine is None:
+        return curve.tower.full_field.one()
+
+    if mode == "reference":
+        return reference_pairing(curve, P_affine, Q_affine)
+    if mode != "optimized":
+        raise PairingError(f"unknown pairing mode {mode!r}")
+
+    ctx = ConcretePairingContext(curve)
+    f = miller_loop(ctx, P_affine, Q_affine, use_naf=use_naf)
+    return final_exponentiation(ctx, f)

@@ -1,0 +1,85 @@
+"""Execution context shared by the concrete and the traced pairing implementations.
+
+The Miller loop and final exponentiation in this package are written once,
+against the small interface below.  Running them with a
+:class:`ConcretePairingContext` produces the golden pairing value; running them
+with the compiler's tracing context (:mod:`repro.compiler.codegen`) produces the
+high-level IR of the very same computation.  This is the mechanism that keeps
+the accelerator code and the reference semantics in lock step.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PairingError
+
+
+class PairingContext:
+    """Interface required by :mod:`repro.pairing.miller` and ``final_exp``."""
+
+    # Mandatory attributes -------------------------------------------------------
+    family: str          # "BN", "BLS12" or "BLS24"
+    u: int               # curve seed
+    k: int               # embedding degree
+    p: int
+    r: int
+    loop_scalar: int     # 6u + 2 for BN, u for BLS
+    twist_type: str      # "D" or "M"
+    final_exp_plan: object
+
+    # Field/element factory methods ----------------------------------------------
+    def full_one(self):
+        """Multiplicative identity of F_p^k."""
+        raise NotImplementedError
+
+    def twist_one(self):
+        """Multiplicative identity of F_p^{k/6}."""
+        raise NotImplementedError
+
+    def full_from_w_coeffs(self, coeffs):
+        """Assemble an F_p^k element from its 6 coefficients over F_p^{k/6}.
+
+        ``coeffs`` is a length-6 sequence whose entries are twist-field values or
+        ``None`` (syntactic zero -- kept explicit so that the compiler's sparsity
+        optimisation sees the zeros).
+        """
+        raise NotImplementedError
+
+    def twist_frobenius_constants(self, n: int):
+        """The pair (c_x, c_y) with psi^-1(pi_p^n(psi(Q))) = (frob^n(x) c_x, frob^n(y) c_y)."""
+        raise NotImplementedError
+
+
+class ConcretePairingContext(PairingContext):
+    """Context backed by a :class:`repro.curves.catalog.PairingCurve`."""
+
+    def __init__(self, curve):
+        self.curve = curve
+        self.family = curve.family.name
+        self.u = curve.params.u
+        self.k = curve.params.k
+        self.p = curve.params.p
+        self.r = curve.params.r
+        self.loop_scalar = curve.family.miller_loop_scalar(curve.params.u)
+        self.twist_type = curve.twist_type
+        self.final_exp_plan = curve.final_exp_plan
+        self._tower = curve.tower
+
+    def full_one(self):
+        return self._tower.full_field.one()
+
+    def twist_one(self):
+        return self._tower.twist_field.one()
+
+    def full_from_w_coeffs(self, coeffs):
+        if len(coeffs) != 6:
+            raise PairingError("expected 6 twist-field coefficients")
+        twist = self._tower.twist_field
+        mid = self._tower.full_field.base
+        full = self._tower.full_field
+        resolved = [twist.zero() if c is None else c for c in coeffs]
+        mid0 = mid.element((resolved[0], resolved[2], resolved[4]))
+        mid1 = mid.element((resolved[1], resolved[3], resolved[5]))
+        return full.element((mid0, mid1))
+
+    def twist_frobenius_constants(self, n: int):
+        return self.curve.twist_frobenius_constants(n)

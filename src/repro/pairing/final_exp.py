@@ -1,0 +1,122 @@
+"""Final exponentiation: easy part plus decomposed hard part.
+
+The easy part raises the Miller value to ``(p^{k/2} - 1)(p^{k/d} + 1)`` using one
+field inversion, one conjugation and Frobenius maps.  The hard part evaluates the
+plan produced by :mod:`repro.pairing.exponent` in the cyclotomic subgroup, where
+inversion is a conjugation.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PairingError
+from repro.pairing.exponent import FinalExpPlan
+
+
+def easy_part(ctx, f):
+    """Raise ``f`` to ``(p^{k/2} - 1) * (p^{k/2 or k/6...} + 1)``.
+
+    For k = 12 this is (p^6 - 1)(p^2 + 1); for k = 24 it is (p^12 - 1)(p^4 + 1).
+    The result lies in the cyclotomic subgroup of order Phi_k(p).
+    """
+    # f^(p^{k/2} - 1): conjugation is the p^{k/2}-power Frobenius on the top step.
+    f = f.conjugate() * f.inverse()
+    # f^(p^{k/(something)} + 1) with the cofactor completing (p^k - 1) / Phi_k(p).
+    if ctx.k == 12:
+        f = f.frobenius(2) * f
+    elif ctx.k == 24:
+        f = f.frobenius(4) * f
+    else:
+        raise PairingError(f"unsupported embedding degree {ctx.k}")
+    return f
+
+
+def _cyclotomic_inverse(value):
+    """Inverse inside the cyclotomic subgroup (free: it is the conjugation)."""
+    return value.conjugate()
+
+
+def _power_positive(value, magnitude: int):
+    """value ** magnitude for magnitude >= 1 (plain square-and-multiply)."""
+    bits = bin(magnitude)[2:]
+    result = value
+    for bit in bits[1:]:
+        result = result.square()
+        if bit == "1":
+            result = result * value
+    return result
+
+
+def _power_by_seed(value, u: int):
+    """value ** u, with negative seeds handled by the cyclotomic inverse."""
+    if u == 0:
+        raise PairingError("seed must be non-zero")
+    result = _power_positive(value, abs(u))
+    if u < 0:
+        result = _cyclotomic_inverse(result)
+    return result
+
+
+def _power_small(value, exponent: int):
+    """value ** exponent for small (possibly negative) exponents; None when zero."""
+    if exponent == 0:
+        return None
+    result = _power_positive(value, abs(exponent))
+    if exponent < 0:
+        result = _cyclotomic_inverse(result)
+    return result
+
+
+def hard_part(ctx, f, plan: FinalExpPlan | None = None):
+    """Evaluate the hard part ``f ** (c * Phi_k(p) / r)`` following ``plan``."""
+    plan = plan or ctx.final_exp_plan
+    if plan.mode == "poly":
+        return _hard_part_poly(ctx, f, plan)
+    return _hard_part_numeric(ctx, f, plan)
+
+
+def _hard_part_poly(ctx, f, plan: FinalExpPlan):
+    # Powers of f by u^j, j = 0 .. max degree (g[0] = f).
+    seed_powers = [f]
+    for _ in range(plan.max_u_degree):
+        seed_powers.append(_power_by_seed(seed_powers[-1], plan.u))
+
+    result = None
+    for i, row in enumerate(plan.lambda_coeffs):
+        term = None
+        for j, coeff in enumerate(row):
+            factor = _power_small(seed_powers[j], coeff)
+            if factor is None:
+                continue
+            term = factor if term is None else term * factor
+        if term is None:
+            continue
+        if i:
+            term = term.frobenius(i)
+        result = term if result is None else result * term
+    if result is None:
+        raise PairingError("empty final exponentiation plan")
+    return result
+
+
+def _hard_part_numeric(ctx, f, plan: FinalExpPlan):
+    # Shared square-and-multiply over the base-p digits: one squaring per bit of p,
+    # multiplying in frob^i(f) whenever digit i has that bit set.
+    frobs = [f]
+    for i in range(1, len(plan.digits)):
+        frobs.append(f.frobenius(i))
+    bit_length = max(digit.bit_length() for digit in plan.digits)
+    result = None
+    for bit_index in range(bit_length - 1, -1, -1):
+        if result is not None:
+            result = result.square()
+        for i, digit in enumerate(plan.digits):
+            if (digit >> bit_index) & 1:
+                result = frobs[i] if result is None else result * frobs[i]
+    if result is None:
+        raise PairingError("zero hard-part exponent")
+    return result
+
+
+def final_exponentiation(ctx, f):
+    """The complete final exponentiation (easy + hard part)."""
+    return hard_part(ctx, easy_part(ctx, f))

@@ -1,0 +1,83 @@
+"""The Miller loop of the optimal Ate pairing (Algorithm 1 of the paper)."""
+
+from __future__ import annotations
+
+from repro.errors import PairingError
+from repro.pairing.lines import (
+    add_step,
+    double_step,
+    jacobian_from_affine,
+    negate_affine,
+    negate_jacobian,
+    twist_point_frobenius,
+)
+
+
+def non_adjacent_form(value: int) -> list:
+    """Signed-digit NAF representation (little-endian digits in {-1, 0, 1})."""
+    if value < 0:
+        raise PairingError("NAF is computed on the absolute loop scalar")
+    digits = []
+    while value:
+        if value & 1:
+            digit = 2 - (value % 4)
+            value -= digit
+        else:
+            digit = 0
+        digits.append(digit)
+        value >>= 1
+    return digits
+
+
+def binary_digits(value: int) -> list:
+    """Plain little-endian binary digits."""
+    if value < 0:
+        raise PairingError("digits are computed on the absolute loop scalar")
+    return [int(b) for b in reversed(bin(value)[2:])]
+
+
+def miller_loop(ctx, P, Q, use_naf: bool = True):
+    """Evaluate the Miller function ``f_{lambda, Q}(P)`` for the optimal Ate pairing.
+
+    ``P`` is an affine pair of F_p elements (a G1 point), ``Q`` an affine pair of
+    twist-field elements (a G2 point on the sextic twist).  Returns an element of
+    F_p^k that still needs the final exponentiation.
+    """
+    scalar = ctx.loop_scalar
+    if scalar == 0:
+        raise PairingError("degenerate Miller loop scalar")
+    magnitude = abs(scalar)
+    digits = non_adjacent_form(magnitude) if use_naf else binary_digits(magnitude)
+    if digits[-1] != 1:
+        raise PairingError("loop scalar representation must start with digit 1")
+
+    neg_q = negate_affine(Q)
+    T = jacobian_from_affine(Q)
+    f = ctx.full_one()
+
+    for digit in reversed(digits[:-1]):
+        T, line = double_step(ctx, T, P)
+        f = f.square()
+        f = f * ctx.full_from_w_coeffs(line)
+        if digit == 1:
+            T, line = add_step(ctx, T, Q, P)
+            f = f * ctx.full_from_w_coeffs(line)
+        elif digit == -1:
+            T, line = add_step(ctx, T, neg_q, P)
+            f = f * ctx.full_from_w_coeffs(line)
+
+    if scalar < 0:
+        # f_{-|s|} ~ 1 / f_{|s|} up to factors killed by the final exponentiation;
+        # the cheap unitary inverse (conjugation) realises it, and T becomes -[|s|]Q.
+        f = f.conjugate()
+        T = negate_jacobian(T)
+
+    if ctx.family == "BN":
+        q1 = twist_point_frobenius(ctx, Q, 1)
+        q2 = negate_affine(twist_point_frobenius(ctx, Q, 2))
+        T, line = add_step(ctx, T, q1, P)
+        f = f * ctx.full_from_w_coeffs(line)
+        T, line = add_step(ctx, T, q2, P)
+        f = f * ctx.full_from_w_coeffs(line)
+
+    return f

@@ -1,0 +1,12 @@
+"""Simulators: functional (single-cycle) and cycle-accurate pipeline models."""
+
+from repro.sim.functional import FunctionalSimulator
+from repro.sim.cycle import CycleAccurateSimulator, CycleStats
+from repro.sim.trace import IssueTrace
+
+__all__ = [
+    "FunctionalSimulator",
+    "CycleAccurateSimulator",
+    "CycleStats",
+    "IssueTrace",
+]

@@ -1,0 +1,92 @@
+"""Single-cycle functional simulator (instruction-set simulator).
+
+Executes an assembled program at the architectural level: a flat register file,
+the preloaded constant table, and one machine operation at a time.  It is the
+post-compile validation stage of the paper's flow -- its results are compared
+against the golden pairing library in the test-suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.isa.program import AssembledProgram
+
+
+@dataclass
+class FunctionalResult:
+    outputs: dict          # output attr -> int
+    executed: int          # number of machine operations executed
+    register_file: list
+
+
+class FunctionalSimulator:
+    """Executes assembled programs over F_p."""
+
+    def __init__(self, program: AssembledProgram, p: int):
+        self.program = program
+        self.p = p
+
+    # -- helpers -------------------------------------------------------------------
+    def _register_count(self) -> int:
+        highest = 0
+        for bundle in self.program.bundles:
+            for instr in bundle.slots:
+                highest = max(highest, instr.rd, instr.rs1, instr.rs2)
+        for reg in self.program.constant_table:
+            highest = max(highest, reg)
+        for reg in self.program.input_map.values():
+            highest = max(highest, reg)
+        for reg in self.program.output_map.values():
+            highest = max(highest, reg)
+        return highest + 1
+
+    def run(self, inputs: dict) -> FunctionalResult:
+        """Run the kernel; ``inputs`` maps input attributes to integers."""
+        p = self.p
+        registers = [0] * self._register_count()
+        for reg, value in self.program.constant_table.items():
+            registers[reg] = value % p
+        for attr, reg in self.program.input_map.items():
+            if attr not in inputs:
+                raise SimulationError(f"missing kernel input {attr!r}")
+            registers[reg] = inputs[attr] % p
+
+        executed = 0
+        for bundle in self.program.bundles:
+            for instr in bundle.slots:
+                name = instr.op.name
+                a = registers[instr.rs1]
+                b = registers[instr.rs2]
+                if name == "ADD":
+                    value = (a + b) % p
+                elif name == "SUB":
+                    value = (a - b) % p
+                elif name == "NEG":
+                    value = (-a) % p
+                elif name == "DBL":
+                    value = (2 * a) % p
+                elif name == "TPL":
+                    value = (3 * a) % p
+                elif name == "MUL":
+                    value = (a * b) % p
+                elif name == "SQR":
+                    value = (a * a) % p
+                elif name == "INV":
+                    if a == 0:
+                        raise SimulationError("modular inversion of zero")
+                    value = pow(a, -1, p)
+                elif name in ("CVT", "ICV"):
+                    value = a % p
+                elif name == "NOP":
+                    continue
+                elif name == "LDC":
+                    continue
+                else:
+                    raise SimulationError(f"unsupported machine op {name}")
+                registers[instr.rd] = value
+                executed += 1
+
+        outputs = {attr: registers[reg] for attr, reg in self.program.output_map.items()}
+        return FunctionalResult(outputs=outputs, executed=executed, register_file=registers)

@@ -1,0 +1,46 @@
+"""Issue-queue traces (the waterfall visualisation of Figure 9)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Per-cycle issue classification codes.
+BUBBLE = 0
+SHORT = 1
+LONG = 2
+INV = 3
+
+_SYMBOLS = {BUBBLE: ".", SHORT: "s", LONG: "L", INV: "I"}
+
+
+@dataclass
+class IssueTrace:
+    """Compact per-cycle record of what was issued (one code per cycle)."""
+
+    codes: list
+
+    def window(self, start: int, length: int) -> list:
+        return self.codes[start:start + length]
+
+    def occupancy(self, start: int = 0, length: int | None = None) -> float:
+        codes = self.codes[start:start + length] if length else self.codes[start:]
+        if not codes:
+            return 0.0
+        return sum(1 for c in codes if c != BUBBLE) / len(codes)
+
+    def render(self, start: int = 0, length: int = 64, width: int = 64) -> str:
+        """ASCII waterfall: one character per cycle, wrapped at ``width`` columns."""
+        codes = self.window(start, length)
+        lines = []
+        for row_start in range(0, len(codes), width):
+            row = codes[row_start:row_start + width]
+            lines.append("".join(_SYMBOLS[c] for c in row))
+        return "\n".join(lines)
+
+    def histogram(self, start: int = 0, length: int | None = None) -> dict:
+        codes = self.codes[start:start + length] if length else self.codes[start:]
+        result = {"bubble": 0, "short": 0, "long": 0, "inv": 0}
+        names = {BUBBLE: "bubble", SHORT: "short", LONG: "long", INV: "inv"}
+        for code in codes:
+            result[names[code]] += 1
+        return result

@@ -1,0 +1,72 @@
+"""Shared fixtures for the test-suite.
+
+Tests use the small "toy" catalog curves so the full pipeline (fields, curves,
+pairing, compiler, simulators) is exercised end-to-end in seconds; a handful of
+tests marked ``slow`` additionally cover a full-size curve.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import sys
+
+import pytest
+
+# Allow running the tests from a source checkout even when the package has not
+# been installed (e.g. documentation builds, quick hacking).
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        sys.path.insert(0, _SRC)
+
+from repro.curves.catalog import get_curve  # noqa: E402
+from repro.hw.presets import paper_hw1, paper_hw2  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return random.Random(0xF1E55E)
+
+
+@pytest.fixture(scope="session")
+def toy_bn():
+    return get_curve("TOY-BN42")
+
+
+@pytest.fixture(scope="session")
+def toy_bls12():
+    return get_curve("TOY-BLS12-54")
+
+
+@pytest.fixture(scope="session")
+def toy_bls24():
+    return get_curve("TOY-BLS24-79")
+
+
+@pytest.fixture(scope="session", params=["TOY-BN42", "TOY-BLS12-54", "TOY-BLS24-79"])
+def toy_curve(request):
+    """Parametrised fixture covering one toy curve per family."""
+    return get_curve(request.param)
+
+
+@pytest.fixture(scope="session")
+def hw1_small(toy_bn):
+    return paper_hw1(toy_bn.params.p.bit_length())
+
+
+@pytest.fixture(scope="session")
+def hw2_small(toy_bn):
+    return paper_hw2(toy_bn.params.p.bit_length())
+
+
+@pytest.fixture(scope="session")
+def compiled_toy_bn(toy_bn):
+    """One compiled toy-BN kernel shared by the backend tests."""
+    from repro.compiler.pipeline import compile_pairing
+
+    return compile_pairing(
+        toy_bn, hw=paper_hw1(toy_bn.params.p.bit_length()), include_baseline=True
+    )

@@ -1,0 +1,219 @@
+"""Backend: bank allocation, scheduling, register allocation, assembly, simulators."""
+
+import pytest
+
+from repro.compiler.bankalloc import allocate_banks
+from repro.compiler.pipeline import compile_pairing
+from repro.compiler.regalloc import allocate_registers
+from repro.compiler.schedule import affinity_schedule, program_order_schedule, unit_of
+from repro.errors import HardwareModelError, ISAError
+from repro.hw.model import HardwareModel
+from repro.hw.presets import default_model, figure10_models, figure11_models, paper_hw1, paper_hw2
+from repro.ir.module import IRModule
+from repro.isa.encoding import ENCODING_32, ENCODING_64, decode_word, encode_word, select_encoding
+from repro.isa.instructions import ISA_BY_NAME, ir_op_to_machine_op
+from repro.sim.cycle import CycleAccurateSimulator
+from repro.sim.functional import FunctionalSimulator
+
+
+# ---------------------------------------------------------------------------
+# Hardware model
+# ---------------------------------------------------------------------------
+
+def test_hardware_model_validation():
+    default_model(256).validate()
+    with pytest.raises(HardwareModelError):
+        HardwareModel(short_latency=50, long_latency=20).validate()
+    with pytest.raises(HardwareModelError):
+        HardwareModel(n_mul_units=2).validate()
+    with pytest.raises(HardwareModelError):
+        HardwareModel(issue_width=2, n_banks=1).validate()
+    with pytest.raises(HardwareModelError):
+        HardwareModel(issue_width=2, n_banks=2, has_writeback_fifo=False).validate()
+    with pytest.raises(HardwareModelError):
+        HardwareModel(bank_read_ports=1).validate()
+
+
+def test_hardware_model_helpers():
+    hw = default_model(254)
+    assert hw.latency_of_unit("long") == 38
+    assert hw.latency_of_unit("short") == 8
+    assert hw.units_of_kind("long") == 1
+    assert hw.with_fifo(True).has_writeback_fifo
+    assert hw.with_cores(8).n_cores == 8
+    assert hw.with_long_latency(20).long_latency == 20
+    assert hw.cache_key() != hw.with_fifo(True).cache_key()
+    with pytest.raises(HardwareModelError):
+        hw.latency_of_unit("vector")
+
+
+def test_presets():
+    assert paper_hw1(254).has_writeback_fifo is False
+    assert paper_hw2(254).has_writeback_fifo is True
+    models = figure10_models(520)
+    assert len(models) == 5
+    assert models[-1].issue_width == 6
+    assert len(figure11_models(254)) == 10
+
+
+# ---------------------------------------------------------------------------
+# ISA encoding
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("fmt", [ENCODING_32, ENCODING_64])
+def test_encode_decode_roundtrip(fmt):
+    op = ISA_BY_NAME["MUL"]
+    word = encode_word(fmt, op, 5, 17, 200)
+    decoded = decode_word(fmt, word)
+    assert decoded == (op, 5, 17, 200)
+
+
+def test_encoding_limits():
+    assert select_encoding(100) is ENCODING_32
+    assert select_encoding(1000) is ENCODING_64
+    with pytest.raises(ISAError):
+        encode_word(ENCODING_32, ISA_BY_NAME["ADD"], 1 << 10, 0, 0)
+    with pytest.raises(ISAError):
+        select_encoding(1 << 20)
+    with pytest.raises(ISAError):
+        ir_op_to_machine_op("frob")
+
+
+def test_ir_to_machine_mapping():
+    assert ir_op_to_machine_op("mul").unit == "long"
+    assert ir_op_to_machine_op("add").unit == "short"
+    assert ir_op_to_machine_op("inv").unit == "inv"
+
+
+# ---------------------------------------------------------------------------
+# Scheduling
+# ---------------------------------------------------------------------------
+
+def _chain_module(length=6):
+    """A dependent chain of multiplications (no ILP at all)."""
+    module = IRModule(level="low")
+    x = module.emit("input", (), attr="x")
+    prev = x
+    for _ in range(length):
+        prev = module.emit("mul", (prev, prev))
+    module.emit("output", (prev,), attr="out")
+    return module
+
+
+def test_schedule_contains_every_instruction(compiled_toy_bn):
+    schedule = compiled_toy_bn.schedule
+    scheduled = [vid for bundle in schedule.bundles for vid in bundle]
+    assert len(scheduled) == len(set(scheduled)) == compiled_toy_bn.final_instructions
+    assert all(len(bundle) <= schedule.hw.issue_width for bundle in schedule.bundles)
+
+
+def test_scheduler_respects_dependencies():
+    module = _chain_module(5)
+    hw = default_model(64)
+    banks = allocate_banks(module, hw)
+    schedule = affinity_schedule(module, hw, banks)
+    stats = CycleAccurateSimulator().run(schedule)
+    # A pure dependency chain cannot be overlapped: every mul waits for the previous.
+    assert stats.total_cycles >= 5 * hw.long_latency
+    assert stats.ipc <= 0.2
+
+
+def test_scheduling_beats_program_order(compiled_toy_bn):
+    baseline = compiled_toy_bn.baseline_cycle_stats
+    scheduled = compiled_toy_bn.cycle_stats
+    assert scheduled.total_cycles < baseline.total_cycles
+    assert scheduled.ipc > 2 * baseline.ipc
+
+
+def test_fifo_removes_writeback_stalls(toy_bn):
+    hw1 = paper_hw1(toy_bn.params.p.bit_length())
+    hw2 = paper_hw2(toy_bn.params.p.bit_length())
+    r1 = compile_pairing(toy_bn, hw=hw1)
+    r2 = compile_pairing(toy_bn, hw=hw2)
+    assert r2.cycles <= r1.cycles
+    assert r2.cycle_stats.writeback_stalls == 0
+
+
+def test_unit_classification():
+    assert unit_of("mul") == "long"
+    assert unit_of("sqr") == "long"
+    assert unit_of("add") == "short"
+    assert unit_of("inv") == "inv"
+
+
+def test_vliw_schedule_packs_multiple_ops(toy_bn):
+    vliw = figure10_models(toy_bn.params.p.bit_length())[-1]
+    result = compile_pairing(toy_bn, hw=vliw, do_assemble=False)
+    widths = [len(bundle) for bundle in result.schedule.bundles]
+    assert max(widths) > 1
+    assert result.ipc > 1.0
+
+
+def test_program_order_schedule_matches_instruction_count(compiled_toy_bn):
+    module = compiled_toy_bn.schedule.module
+    hw = compiled_toy_bn.hw
+    banks = allocate_banks(module, hw)
+    baseline = program_order_schedule(module, hw, banks)
+    assert baseline.instruction_count == compiled_toy_bn.final_instructions
+
+
+# ---------------------------------------------------------------------------
+# Register allocation and assembly
+# ---------------------------------------------------------------------------
+
+def test_register_allocation_is_consistent(compiled_toy_bn):
+    allocation = allocate_registers(compiled_toy_bn.schedule)
+    hw = compiled_toy_bn.hw
+    assert set(allocation.registers_per_bank) <= set(range(hw.n_banks))
+    # Far fewer registers than SSA values thanks to liveness-based reuse.
+    assert allocation.total_registers < compiled_toy_bn.final_instructions / 10
+    seen = {}
+    for vid, (bank, slot) in allocation.register_of.items():
+        assert 0 <= bank < hw.n_banks
+        assert 0 <= slot < allocation.registers_per_bank[bank]
+
+
+def test_assembled_program_structure(compiled_toy_bn):
+    program = compiled_toy_bn.program
+    assert program.instruction_count == compiled_toy_bn.final_instructions
+    assert program.binary_size_bits() == program.bundle_count * program.issue_width * program.encoding.word_bits
+    words = program.encoded_words()
+    assert len(words) == program.bundle_count * program.issue_width
+    hexes = program.to_hex(limit=16)
+    assert len(hexes) == 16 and all(len(h) == program.encoding.word_bits // 4 for h in hexes)
+    text = program.disassemble(limit=5)
+    assert "MUL" in text or "ADD" in text or "SQR" in text
+    # Every instruction word decodes back to a known op.
+    op, rd, rs1, rs2 = decode_word(program.encoding, words[0])
+    assert op.name in ISA_BY_NAME
+
+
+def test_functional_simulator_rejects_missing_inputs(compiled_toy_bn, toy_bn):
+    from repro.errors import SimulationError
+
+    sim = FunctionalSimulator(compiled_toy_bn.program, toy_bn.params.p)
+    with pytest.raises(SimulationError):
+        sim.run({})
+
+
+# ---------------------------------------------------------------------------
+# Cycle-accurate simulator micro-behaviour
+# ---------------------------------------------------------------------------
+
+def test_cycle_sim_dependent_latency():
+    module = IRModule(level="low")
+    x = module.emit("input", (), attr="x")
+    a = module.emit("mul", (x, x))
+    b = module.emit("add", (a, a))
+    module.emit("output", (b,), attr="out")
+    hw = default_model(64)
+    banks = allocate_banks(module, hw)
+    schedule = program_order_schedule(module, hw, banks)
+    stats = CycleAccurateSimulator(record_trace=True).run(schedule)
+    # The add must wait for the multiplier's 38-cycle latency.
+    assert stats.total_cycles >= hw.long_latency + hw.short_latency
+    assert stats.data_stalls >= hw.long_latency - 1
+    assert stats.trace is not None
+    histogram = stats.trace.histogram()
+    assert histogram["long"] == 1 and histogram["short"] == 1
+    assert stats.describe()["cycles"] == stats.total_cycles

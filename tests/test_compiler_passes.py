@@ -1,0 +1,145 @@
+"""IROpt passes: folding, strength reduction, GVN, DCE -- and semantics preservation."""
+
+import pytest
+
+from repro.compiler.opt import (
+    constant_folding,
+    dead_code_elimination,
+    global_value_numbering,
+    optimize,
+    strength_reduction,
+)
+from repro.fields.variants import VariantConfig
+from repro.ir.builder import IRBuilder
+from repro.ir.interp import interpret_low_level
+from repro.ir.lowering import lower_module
+from repro.ir.module import IRModule
+
+P = 10007
+
+
+def _build(ops):
+    """Helper building a small low-level module from (op, args, attr) triples."""
+    module = IRModule(level="low")
+    ids = []
+    for op, args, attr in ops:
+        ids.append(module.emit(op, tuple(ids[a] for a in args), attr=attr))
+    return module, ids
+
+
+def test_constant_folding_folds_chains():
+    module, _ = _build([
+        ("const", (), 3),
+        ("const", (), 4),
+        ("mul", (0, 1), None),
+        ("add", (2, 2), None),
+        ("output", (3,), "out"),
+    ])
+    folded = constant_folding(module, P)
+    outputs = interpret_low_level(folded, P, {})
+    assert outputs["out"] == 24
+    assert folded.op_histogram().get("mul", 0) == 0
+
+
+def test_strength_reduction_rules():
+    module, _ = _build([
+        ("input", (), "x"),
+        ("const", (), 0),
+        ("const", (), 1),
+        ("const", (), 2),
+        ("add", (0, 1), None),      # x + 0 -> x
+        ("mul", (0, 2), None),      # x * 1 -> x
+        ("mul", (0, 3), None),      # x * 2 -> dbl
+        ("mul", (0, 0), None),      # x * x -> sqr
+        ("sub", (0, 0), None),      # x - x -> 0
+        ("output", (4,), "a"),
+        ("output", (5,), "b"),
+        ("output", (6,), "c"),
+        ("output", (7,), "d"),
+        ("output", (8,), "e"),
+    ])
+    reduced = strength_reduction(module, P)
+    histogram = reduced.op_histogram()
+    assert histogram.get("mul", 0) == 0
+    assert histogram.get("dbl", 0) == 1
+    assert histogram.get("sqr", 0) == 1
+    outputs = interpret_low_level(reduced, P, {"x": 5})
+    assert outputs == {"a": 5, "b": 5, "c": 10, "d": 25, "e": 0}
+
+
+def test_gvn_merges_duplicates():
+    module, _ = _build([
+        ("input", (), "x"),
+        ("input", (), "y"),
+        ("mul", (0, 1), None),
+        ("mul", (1, 0), None),      # commutative duplicate
+        ("add", (2, 3), None),
+        ("output", (4,), "out"),
+    ])
+    merged = global_value_numbering(module, P)
+    assert merged.op_histogram()["mul"] == 1
+    outputs = interpret_low_level(merged, P, {"x": 3, "y": 7})
+    assert outputs["out"] == 42
+
+
+def test_dce_removes_unused():
+    module, _ = _build([
+        ("input", (), "x"),
+        ("mul", (0, 0), None),
+        ("add", (0, 0), None),      # dead
+        ("output", (1,), "out"),
+    ])
+    cleaned = dead_code_elimination(module)
+    assert cleaned.op_histogram().get("add", 0) == 0
+    assert interpret_low_level(cleaned, P, {"x": 4})["out"] == 16
+
+
+def test_optimize_reports_reduction(toy_bn, rng):
+    tower = toy_bn.tower
+    builder = IRBuilder()
+    x = builder.input(tower.full_field, "x")
+    zero = builder.constant(tower.twist_field.zero())
+    c = builder.input(tower.twist_field, "c")
+    sparse = builder.pack([c, zero, zero, c, zero, zero], tower.full_field)
+    builder.output(x * sparse, "out")
+    low = lower_module(builder.module, tower.levels, VariantConfig.all_karatsuba())
+    optimized, stats = optimize(low, toy_bn.params.p)
+    assert stats.final < stats.initial          # sparsity removed some work
+    assert 0.0 < stats.reduction < 1.0
+
+    a = tower.full_field.random(rng)
+    b = tower.twist_field.random(rng)
+    inputs = {}
+    for j, coeff in enumerate(a.to_base_coeffs()):
+        inputs[("x", j)] = coeff
+    for j, coeff in enumerate(b.to_base_coeffs()):
+        inputs[("c", j)] = coeff
+    zero2 = tower.twist_field.zero()
+    # Pack order is the w-power basis: full = (c0 + c2 v + c4 v^2) + (c1 + c3 v + c5 v^2) w,
+    # so coefficients at positions 0 and 3 land in mid0[0] and mid1[1].
+    expected_sparse = tower.full_field.element((
+        tower.full_field.base.element((b, zero2, zero2)),
+        tower.full_field.base.element((zero2, b, zero2)),
+    ))
+    expected = a * expected_sparse
+    outputs = interpret_low_level(optimized, toy_bn.params.p, inputs)
+    assert [outputs[("out", j)] for j in range(12)] == expected.to_base_coeffs()
+
+
+def test_optimized_pairing_kernel_semantics(compiled_toy_bn, toy_bn, rng):
+    """The IROpt pipeline must not change the kernel's input/output behaviour."""
+    from repro.compiler.pipeline import _cached_low_module, _cached_optimized
+    from repro.fields.variants import VariantConfig
+
+    config = VariantConfig.all_karatsuba()
+    low = _cached_low_module(toy_bn, config, True)
+    opt, _ = _cached_optimized(toy_bn, config, True)
+    P_point = toy_bn.random_g1(rng)
+    Q_point = toy_bn.random_g2(rng)
+    inputs = {}
+    for name, value in (("xP", P_point.x), ("yP", P_point.y), ("xQ", Q_point.x), ("yQ", Q_point.y)):
+        for j, coeff in enumerate(value.to_base_coeffs()):
+            inputs[(name, j)] = coeff
+    out_low = interpret_low_level(low, toy_bn.params.p, inputs)
+    out_opt = interpret_low_level(opt, toy_bn.params.p, inputs)
+    assert out_low == out_opt

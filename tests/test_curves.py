@@ -1,0 +1,212 @@
+"""Curve families, parameter search, point arithmetic, catalog construction."""
+
+import random
+
+import pytest
+
+from repro.curves.catalog import CURVE_SPECS, PAPER_CURVES, get_curve, list_curves
+from repro.curves.families import BLS12_FAMILY, BLS24_FAMILY, BN_FAMILY, get_family
+from repro.curves.formulas import (
+    affine_to_jacobian,
+    affine_to_projective,
+    jacobian_add_mixed,
+    jacobian_double,
+    jacobian_to_affine,
+    projective_add_mixed,
+    projective_double,
+    projective_to_affine,
+)
+from repro.curves.model import EllipticCurve
+from repro.curves.orders import cm_y, curve_order, frobenius_trace, sextic_twist_orders
+from repro.curves.search import find_seed
+from repro.curves.security import estimate_security_bits
+from repro.errors import CurveError
+from repro.fields.fp import PrimeField
+
+
+# ---------------------------------------------------------------------------
+# Families
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("family,u", [
+    (BN_FAMILY, 543),
+    (BN_FAMILY, -(2**62 + 2**55 + 1)),
+    (BLS12_FAMILY, 559),
+    (BLS24_FAMILY, 259),
+])
+def test_family_instantiation(family, u):
+    params = family.instantiate(u)
+    assert (params.p + 1 - params.t) % params.r == 0
+    assert params.p % 3 == 1
+    assert params.cofactor_g1 >= 1
+
+
+@pytest.mark.parametrize("family", [BN_FAMILY, BLS12_FAMILY, BLS24_FAMILY])
+def test_polynomial_coefficients_match_evaluation(family):
+    for u in (7, 13, 101, -20, 1000003):
+        if not family.seed_constraint(u):
+            continue
+        try:
+            p = family.p_poly(u)
+            r = family.r_poly(u)
+        except CurveError:
+            continue
+        p_from_coeffs = sum(c * u**i for i, c in enumerate(family.p_coeffs))
+        r_from_coeffs = sum(c * u**i for i, c in enumerate(family.r_coeffs))
+        assert p_from_coeffs == family.poly_denominator * p
+        assert r_from_coeffs == r
+
+
+def test_family_rejects_bad_seed():
+    with pytest.raises(CurveError):
+        BLS12_FAMILY.instantiate(560)   # not 1 mod 3
+    with pytest.raises(CurveError):
+        BN_FAMILY.instantiate(0)
+    with pytest.raises(CurveError):
+        BN_FAMILY.instantiate(544)      # p or r not prime for this seed
+
+
+def test_get_family():
+    assert get_family("bn") is BN_FAMILY
+    assert get_family("BLS24") is BLS24_FAMILY
+    with pytest.raises(CurveError):
+        get_family("MNT4")
+
+
+def test_seed_search_small():
+    candidate = find_seed(BN_FAMILY, 10, max_terms=4)
+    assert BN_FAMILY.is_valid_seed(candidate.u)
+    assert "2^" in candidate.describe()
+
+
+# ---------------------------------------------------------------------------
+# Orders / CM machinery
+# ---------------------------------------------------------------------------
+
+def test_trace_recurrence_and_orders(toy_bn):
+    p, t = toy_bn.params.p, toy_bn.params.t
+    assert frobenius_trace(t, p, 1) == t
+    assert frobenius_trace(t, p, 2) == t * t - 2 * p
+    assert curve_order(p, t, 1) == p + 1 - t
+    y = cm_y(p, t, 1)
+    assert t * t - 4 * p == -3 * y * y
+    orders = sextic_twist_orders(p, t, 2)
+    assert any(order % toy_bn.params.r == 0 for order in orders)
+
+
+# ---------------------------------------------------------------------------
+# Point arithmetic
+# ---------------------------------------------------------------------------
+
+def test_affine_group_law(toy_bn, rng):
+    curve = toy_bn.curve
+    P = curve.random_point(rng)
+    Q = curve.random_point(rng)
+    R = curve.random_point(rng)
+    assert (P + Q) + R == P + (Q + R)
+    assert P + Q == Q + P
+    assert P + curve.infinity() == P
+    assert (P - P).is_infinity()
+    assert (P.double()) == P + P
+    assert P.scalar_mul(5) == P + P + P + P + P
+    assert P.scalar_mul(-2) == -(P + P)
+    assert P.scalar_mul(0).is_infinity()
+
+
+def test_point_validation(toy_bn, rng):
+    curve = toy_bn.curve
+    P = curve.random_point(rng)
+    bogus_y = P.y + curve.field(1)
+    if bogus_y.square() != P.x * P.x.square() + curve.a * P.x + curve.b:
+        with pytest.raises(CurveError):
+            curve.point(P.x, bogus_y)
+    assert curve.point(P.x, P.y) == P
+
+
+def test_lift_x_roundtrip(toy_bn, rng):
+    curve = toy_bn.curve
+    P = curve.random_point(rng)
+    lifted = curve.lift_x(P.x)
+    assert lifted is not None
+    assert lifted.x == P.x
+    assert lifted in (P, -P)
+
+
+@pytest.mark.parametrize("system", ["jacobian", "projective"])
+def test_formulas_match_affine(toy_bn, rng, system):
+    curve = toy_bn.twist_curve
+    P = curve.random_point(rng)
+    Q = curve.random_point(rng)
+    if system == "jacobian":
+        to, fro, dbl, add = affine_to_jacobian, jacobian_to_affine, jacobian_double, jacobian_add_mixed
+        doubled = fro(dbl(to((P.x, P.y))))
+        added = fro(add(to((P.x, P.y)), (Q.x, Q.y)))
+    else:
+        to, fro = affine_to_projective, projective_to_affine
+        doubled = fro(projective_double(to((P.x, P.y)), curve.b))
+        added = fro(projective_add_mixed(to((P.x, P.y)), (Q.x, Q.y), curve.b))
+    assert doubled == (P.double().x, P.double().y)
+    expected = P + Q
+    assert added == (expected.x, expected.y)
+
+
+# ---------------------------------------------------------------------------
+# Catalog
+# ---------------------------------------------------------------------------
+
+def test_catalog_listing():
+    names = list_curves()
+    assert set(PAPER_CURVES) <= set(names)
+    assert "TOY-BN42" in names
+    assert "TOY-BN42" not in list_curves(include_toy=False)
+    assert len(CURVE_SPECS) >= 10
+
+
+def test_get_curve_unknown():
+    with pytest.raises(CurveError):
+        get_curve("BN9999")
+
+
+def test_get_curve_alias_and_cache():
+    a = get_curve("TOY-BN42")
+    b = get_curve("toy-bn42")
+    assert a is b
+
+
+def test_toy_curve_structure(toy_curve):
+    curve = toy_curve
+    info = curve.describe()
+    assert info["k"] in (12, 24)
+    assert curve.twist_type in ("D", "M")
+    # Generators have order r.
+    assert curve.is_in_g1(curve.g1_generator)
+    assert curve.is_in_g2(curve.g2_generator)
+    assert not curve.g1_generator.is_infinity()
+    assert not curve.g2_generator.is_infinity()
+    # The cofactors are consistent with the group orders.
+    assert (curve.params.p + 1 - curve.params.t) == curve.cofactor_g1 * curve.params.r
+
+
+def test_twist_frobenius_constants_map_g2_to_twist(toy_curve, rng):
+    curve = toy_curve
+    Q = curve.random_g2(rng)
+    c_x, c_y = curve.twist_frobenius_constants(1)
+    image = (Q.x.frobenius(1) * c_x, Q.y.frobenius(1) * c_y)
+    assert curve.twist_curve.point(image[0], image[1]).is_on_curve()
+
+
+def test_random_subgroup_sampling(toy_curve, rng):
+    curve = toy_curve
+    P = curve.random_g1(rng)
+    Q = curve.random_g2(rng)
+    assert P.scalar_mul(curve.params.r).is_infinity()
+    assert Q.scalar_mul(curve.params.r).is_infinity()
+
+
+def test_security_estimates_match_table2_anchors():
+    assert estimate_security_bits("BN", 12, 2**253, 2**253) == 100
+    assert estimate_security_bits("BLS12", 12, 2**380, 2**254) == 123
+    assert estimate_security_bits("BLS24", 24, 2**508, 2**407) == 192
+    # Non-anchor curves get a monotone-ish generic estimate.
+    small = estimate_security_bits("BN", 12, 2**41, 2**41)
+    assert 0 < small < 100

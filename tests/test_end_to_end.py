@@ -1,0 +1,106 @@
+"""End-to-end: compiled accelerator binary reproduces the golden pairing."""
+
+import pytest
+
+from repro.compiler.pipeline import CompilerPipeline, clear_caches, compile_pairing
+from repro.fields.variants import VariantConfig
+from repro.hw.presets import paper_hw1
+from repro.pairing.ate import optimal_ate_pairing
+from repro.sim.functional import FunctionalSimulator
+
+
+def _kernel_inputs(P, Q):
+    inputs = {}
+    for name, value in (("xP", P.x), ("yP", P.y), ("xQ", Q.x), ("yQ", Q.y)):
+        for j, coeff in enumerate(value.to_base_coeffs()):
+            inputs[(name, j)] = coeff
+    return inputs
+
+
+@pytest.mark.parametrize("variant", ["all-karatsuba", "manual", "all-schoolbook"])
+def test_compiled_kernel_matches_golden_pairing(toy_bn, rng, variant):
+    config = {
+        "all-karatsuba": VariantConfig.all_karatsuba(),
+        "manual": VariantConfig.manual(),
+        "all-schoolbook": VariantConfig.all_schoolbook(),
+    }[variant]
+    result = compile_pairing(toy_bn, variant_config=config)
+    P = toy_bn.random_g1(rng)
+    Q = toy_bn.random_g2(rng)
+    golden = optimal_ate_pairing(toy_bn, P, Q)
+    sim = FunctionalSimulator(result.program, toy_bn.params.p)
+    outputs = sim.run(_kernel_inputs(P, Q)).outputs
+    got = [outputs[("result", j)] for j in range(toy_bn.params.k)]
+    assert got == golden.to_base_coeffs()
+
+
+def test_compiled_kernel_matches_golden_pairing_bls(toy_curve, rng):
+    result = compile_pairing(toy_curve)
+    P = toy_curve.random_g1(rng)
+    Q = toy_curve.random_g2(rng)
+    golden = optimal_ate_pairing(toy_curve, P, Q)
+    sim = FunctionalSimulator(result.program, toy_curve.params.p)
+    outputs = sim.run(_kernel_inputs(P, Q)).outputs
+    got = [outputs[("result", j)] for j in range(toy_curve.params.k)]
+    assert got == golden.to_base_coeffs()
+
+
+def test_compile_report_shape(compiled_toy_bn):
+    report = compiled_toy_bn.describe()
+    assert report["init_instructions"] > report["opt_instructions"] > 0
+    assert 0.0 < report["instr_reduction"] < 0.6
+    assert report["cycles"] >= report["opt_instructions"]
+    assert 0.3 < report["ipc"] <= 1.0
+    assert compiled_toy_bn.imem_bits > 0
+    assert compiled_toy_bn.compile_seconds > 0
+    assert set(compiled_toy_bn.stage_seconds) >= {
+        "codegen", "lowering", "iropt", "bankalloc", "packsched", "regalloc",
+    }
+
+
+def test_unoptimized_compile_flow(toy_bn):
+    result = compile_pairing(toy_bn, optimize_ir=False, do_assemble=False, use_cache=False)
+    assert result.final_instructions == result.initial_instructions
+    assert result.opt_stats.reduction == 0.0
+
+
+def test_compile_cache_hit(toy_bn):
+    first = compile_pairing(toy_bn)
+    second = compile_pairing(toy_bn)
+    assert first is second
+    third = compile_pairing(toy_bn, use_cache=False)
+    assert third is not first
+    assert third.cycles == first.cycles
+
+
+def test_pipeline_stage_access(toy_bn):
+    pipeline = CompilerPipeline(hw=paper_hw1(toy_bn.params.p.bit_length()))
+    hl = pipeline.run_codegen(toy_bn)
+    assert hl.count_compute_ops() > 100
+    low = pipeline.run_lowering(toy_bn, hl)
+    assert low.count_compute_ops() > hl.count_compute_ops()
+
+
+def test_clear_caches_does_not_break_recompilation(toy_bn):
+    clear_caches()
+    result = compile_pairing(toy_bn)
+    assert result.cycles > 0
+
+
+@pytest.mark.slow
+def test_full_size_bn254_compile_and_validate(rng):
+    from repro.curves.catalog import get_curve
+
+    curve = get_curve("BN254N")
+    result = compile_pairing(curve, include_baseline=True)
+    # Shape checks against Table 7: sizeable kernel, >5% reduction, IPC close to 1.
+    assert result.final_instructions > 50_000
+    assert result.opt_stats.reduction > 0.05
+    assert result.ipc > 0.8
+    assert result.baseline_cycle_stats.ipc < 0.3
+    P = curve.random_g1(rng)
+    Q = curve.random_g2(rng)
+    golden = optimal_ate_pairing(curve, P, Q)
+    sim = FunctionalSimulator(result.program, curve.params.p)
+    outputs = sim.run(_kernel_inputs(P, Q)).outputs
+    assert [outputs[("result", j)] for j in range(curve.params.k)] == golden.to_base_coeffs()

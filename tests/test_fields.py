@@ -1,0 +1,199 @@
+"""Prime field and tower extension arithmetic."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import FieldError
+from repro.fields.extension import embed
+from repro.fields.fp import PrimeField
+from repro.fields.sqrt import field_sqrt, is_field_square
+from repro.fields.tower import build_extension, build_pairing_tower, is_cube, is_square
+
+P_TEST = 2**61 - 1 if (2**61 - 1) % 4 == 3 else 1000003
+# Use a pairing-friendly style prime (p = 1 mod 6, p = 3 mod 4) for tower tests.
+P_TOWER = 1000033  # not 1 mod 6; replaced in fixture below if needed
+
+
+@pytest.fixture(scope="module")
+def fp():
+    return PrimeField(10007)
+
+
+@pytest.fixture(scope="module")
+def tower():
+    # A small BN-like prime: p = 1 mod 6 so the sextic construction exists.
+    from repro.curves.families import BN_FAMILY
+
+    params = BN_FAMILY.instantiate(543)
+    return build_pairing_tower(params.p, 12)
+
+
+# ---------------------------------------------------------------------------
+# F_p
+# ---------------------------------------------------------------------------
+
+@given(st.integers(), st.integers(), st.integers())
+@settings(max_examples=150, deadline=None)
+def test_fp_ring_axioms(a, b, c):
+    field = PrimeField(10007)
+    x, y, z = field(a), field(b), field(c)
+    assert (x + y) + z == x + (y + z)
+    assert x + y == y + x
+    assert (x * y) * z == x * (y * z)
+    assert x * y == y * x
+    assert x * (y + z) == x * y + x * z
+    assert x + field.zero() == x
+    assert x * field.one() == x
+    assert x - x == field.zero()
+
+
+@given(st.integers(min_value=1, max_value=10006))
+@settings(max_examples=100, deadline=None)
+def test_fp_inverse_and_pow(a):
+    field = PrimeField(10007)
+    x = field(a)
+    assert x * x.inverse() == field.one()
+    assert x ** 3 == x * x * x
+    assert x ** 0 == field.one()
+    assert x ** -1 == x.inverse()
+
+
+def test_fp_misc(fp):
+    assert fp(5).double() == fp(10)
+    assert fp(5).triple() == fp(15)
+    assert fp(5).mul_small(-2) == fp(-10)
+    assert fp(0).is_zero() and fp(1).is_one()
+    assert fp(3).frobenius(4) == fp(3)
+    assert fp(3).conjugate() == fp(3)
+    assert fp(7).to_base_coeffs() == [7]
+    assert fp.from_base_coeffs([9]) == fp(9)
+    with pytest.raises(FieldError):
+        fp(0).inverse()
+    with pytest.raises(FieldError):
+        PrimeField(8)
+
+
+# ---------------------------------------------------------------------------
+# Extension towers
+# ---------------------------------------------------------------------------
+
+def test_tower_structure(tower):
+    assert tower.fp.degree == 1
+    assert tower.twist_field.degree == 2
+    assert tower.full_field.degree == 12
+    assert sorted(tower.levels) == [1, 2, 6, 12]
+    # w^6 equals the twist non-residue.
+    w6 = tower.w ** 6
+    assert w6 == tower.embed_to_full(tower.twist_xi)
+
+
+@pytest.mark.parametrize("degree", [2, 6, 12])
+def test_extension_ring_axioms(tower, degree):
+    field = tower.level(degree)
+    rng = random.Random(degree)
+    for _ in range(10):
+        x, y, z = field.random(rng), field.random(rng), field.random(rng)
+        assert (x + y) * z == x * z + y * z
+        assert (x * y) * z == x * (y * z)
+        assert x * y == y * x
+        assert x + (-x) == field.zero()
+        assert x * field.one() == x
+
+
+@pytest.mark.parametrize("degree", [2, 6, 12])
+def test_extension_inverse(tower, degree):
+    field = tower.level(degree)
+    rng = random.Random(100 + degree)
+    for _ in range(8):
+        x = field.random(rng)
+        if x.is_zero():
+            continue
+        assert x * x.inverse() == field.one()
+
+
+@pytest.mark.parametrize("degree", [2, 6, 12])
+def test_frobenius_is_pth_power(tower, degree):
+    field = tower.level(degree)
+    rng = random.Random(200 + degree)
+    p = field.p
+    for _ in range(3):
+        x = field.random(rng)
+        assert x.frobenius(1) == x ** p
+        assert x.frobenius(2) == (x ** p) ** p
+        assert x.frobenius(field.degree) == x
+
+
+def test_conjugate_matches_frobenius_half(tower):
+    full = tower.full_field
+    rng = random.Random(7)
+    x = full.random(rng)
+    assert x.conjugate() == x.frobenius(6)
+
+
+def test_mixed_subfield_multiplication(tower):
+    rng = random.Random(11)
+    full = tower.full_field
+    fp = tower.fp
+    x = full.random(rng)
+    s = fp.random(rng)
+    expected = x * tower.embed_to_full(s)
+    assert x * s == expected
+    assert s * x == expected
+
+
+def test_coeff_roundtrip(tower):
+    rng = random.Random(13)
+    for degree in (2, 6, 12):
+        field = tower.level(degree)
+        x = field.random(rng)
+        coeffs = x.to_base_coeffs()
+        assert len(coeffs) == degree
+        assert field.from_base_coeffs(coeffs) == x
+
+
+def test_embed_and_errors(tower):
+    rng = random.Random(17)
+    x2 = tower.twist_field.random(rng)
+    lifted = embed(x2, tower.full_field)
+    assert lifted.to_base_coeffs()[:2] == x2.to_base_coeffs()
+    other = PrimeField(10007)
+    with pytest.raises(FieldError):
+        embed(other(3), tower.full_field)
+
+
+def test_mul_by_nonresidue(tower):
+    field = tower.level(6)
+    rng = random.Random(19)
+    x = field.random(rng)
+    assert x.mul_by_nonresidue() == x * field.gen()
+
+
+def test_is_square_and_sqrt_in_extension(tower):
+    field = tower.twist_field
+    rng = random.Random(23)
+    x = field.random(rng)
+    square = x * x
+    assert is_field_square(square)
+    root = field_sqrt(square)
+    assert root * root == square
+
+
+def test_nonresidue_checks(tower):
+    # The twist non-residue must be neither a square nor a cube in F_p2.
+    xi = tower.twist_xi
+    assert not is_square(xi)
+    assert not is_cube(xi)
+
+
+def test_build_extension_rejects_bad_residues(tower):
+    field = tower.twist_field
+    square = field(4)  # 4 = 2^2 is always a square
+    with pytest.raises(FieldError):
+        build_extension(field, 2, xi=square)
+
+
+def test_unsupported_embedding_degree():
+    with pytest.raises(FieldError):
+        build_pairing_tower(10007, 8)

@@ -1,0 +1,84 @@
+"""Area, timing, memory, multiplier and technology models."""
+
+import pytest
+
+from repro.hw.area import estimate_area
+from repro.hw.memory import estimate_data_memory, estimate_instruction_memory
+from repro.hw.model import HardwareModel
+from repro.hw.multiplier import estimate_multiplier, karatsuba_multiplier_count, schoolbook_multiplier_count
+from repro.hw.presets import default_model
+from repro.hw.technology import TECH_40NM, TECH_65NM, get_node
+from repro.hw.timing import critical_path_ns, frequency_mhz
+from repro.errors import HardwareModelError
+
+
+def test_multiplier_counts_and_saving():
+    assert karatsuba_multiplier_count(1) == 1
+    assert karatsuba_multiplier_count(4) == 16
+    assert karatsuba_multiplier_count(16) == 9 * 16
+    assert schoolbook_multiplier_count(16) == 256
+    estimate = estimate_multiplier(254, 38)
+    assert estimate.basic_multipliers < schoolbook_multiplier_count(16)
+    assert 0.2 < estimate.karatsuba_saving < 0.8
+    assert estimate.area_mm2 > 0
+
+
+def test_multiplier_area_grows_subquadratically():
+    small = estimate_multiplier(254, 38).area_um2
+    big = estimate_multiplier(508, 38).area_um2
+    ratio = big / small
+    assert 1.5 < ratio < 4.0           # well below the 4x of schoolbook doubling
+
+
+def test_memory_models():
+    imem = estimate_instruction_memory(2_000_000)
+    assert imem.area_mm2 > 0.3
+    assert imem.size_kib == pytest.approx(2_000_000 / 8 / 1024)
+    dmem = estimate_data_memory(254, 512)
+    dmem_ported = estimate_data_memory(254, 512, read_ports=4, write_ports=2)
+    assert dmem_ported.area_um2 > dmem.area_um2
+
+
+def test_area_breakdown_matches_paper_shape():
+    hw = default_model(254)
+    # Program sized like the paper's BN254 kernel.
+    imem_bits = 90_000 * 32
+    registers = 440
+    one = estimate_area(hw, imem_bits, registers, n_cores=1)
+    eight = estimate_area(hw, imem_bits, registers, n_cores=8)
+    fractions_1 = one.fractions()
+    fractions_8 = eight.fractions()
+    # Figure 6: IMem dominates the single core (~50%) and shrinks to ~11% at 8 cores.
+    assert 0.35 < fractions_1["imem"] < 0.6
+    assert fractions_8["imem"] < 0.2
+    assert fractions_8["alu"] > fractions_1["alu"]
+    assert 0.8 < fractions_1["mmul_share_of_alu"] < 0.99
+    # Area grows far less than 8x while throughput grows 8x.
+    assert eight.total_mm2 / one.total_mm2 < 6.0
+    assert eight.sram_kib > one.sram_kib
+    assert one.describe()["total_mm2"] > 0
+
+
+def test_timing_model_calibration_points():
+    assert frequency_mhz(254, 38) == pytest.approx(769, rel=0.02)
+    assert critical_path_ns(254, 14) > critical_path_ns(254, 38)
+    # Saturation: very deep pipelines stop improving.
+    assert critical_path_ns(254, 60) == pytest.approx(critical_path_ns(254, 80), rel=0.05)
+    # Wider operands are slower at the same depth.
+    assert critical_path_ns(638, 38) > critical_path_ns(254, 38)
+
+
+def test_technology_scaling():
+    assert get_node(65) is TECH_65NM
+    assert TECH_65NM.scale_area_mm2(8.0) == pytest.approx(12.0, rel=0.01)
+    assert TECH_65NM.scale_frequency_mhz(769) == pytest.approx(423, rel=0.03)
+    assert TECH_40NM.scale_delay(10) == 10
+    with pytest.raises(HardwareModelError):
+        get_node(90)
+
+
+def test_area_scales_with_word_width():
+    small = estimate_area(default_model(254), 1_000_000, 400, n_cores=1)
+    large = estimate_area(default_model(509), 1_000_000, 400, n_cores=1)
+    assert large.alu_mm2 > small.alu_mm2
+    assert large.dmem_mm2 > small.dmem_mm2

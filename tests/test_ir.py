@@ -1,0 +1,215 @@
+"""IR container, tracing builder, lowering and interpreters."""
+
+import random
+
+import pytest
+
+from repro.errors import IRError
+from repro.fields.variants import VariantConfig
+from repro.ir.builder import IRBuilder
+from repro.ir.interp import interpret_high_level, interpret_low_level
+from repro.ir.lowering import lower_module
+from repro.ir.module import IRModule
+from repro.ir.ops import HIGH_LEVEL_OPS, LOW_LEVEL_OPS, is_linear, is_multiplicative, op_info
+
+
+# ---------------------------------------------------------------------------
+# Op metadata
+# ---------------------------------------------------------------------------
+
+def test_op_tables():
+    assert "mul" in HIGH_LEVEL_OPS and "mul" in LOW_LEVEL_OPS
+    assert "frob" in HIGH_LEVEL_OPS and "frob" not in LOW_LEVEL_OPS
+    assert "dbl" in LOW_LEVEL_OPS
+    assert op_info("add").commutative
+    assert not op_info("sub").commutative
+    assert is_multiplicative("sqr") and not is_multiplicative("add")
+    assert is_linear("tpl") and not is_linear("mul")
+    with pytest.raises(IRError):
+        op_info("bogus")
+
+
+# ---------------------------------------------------------------------------
+# Module structure and validation
+# ---------------------------------------------------------------------------
+
+def test_module_emit_and_histogram():
+    module = IRModule(level="low")
+    a = module.emit("input", (), attr="a")
+    b = module.emit("const", (), attr=3)
+    c = module.emit("mul", (a, b))
+    module.emit("output", (c,), attr="out")
+    assert len(module) == 4
+    assert module.inputs == [a]
+    assert module.outputs == [3]
+    assert module.op_histogram()["mul"] == 1
+    assert module.count_compute_ops() == 1
+    assert "%2" in module.dump()
+    module.validate()
+
+
+def test_module_validation_errors():
+    module = IRModule(level="low")
+    module.emit("mul", (0, 1))   # forward references: SSA violation
+    with pytest.raises(IRError):
+        module.validate()
+
+    # Wrong arity.
+    module3 = IRModule(level="low")
+    a = module3.emit("const", (), attr=1)
+    module3.emit("add", (a,))
+    with pytest.raises(IRError):
+        module3.validate()
+
+
+def test_low_level_rejects_wide_degrees():
+    module = IRModule(level="low")
+    module.emit("const", (), attr=1, degree=2)
+    with pytest.raises(IRError):
+        module.validate()
+
+
+# ---------------------------------------------------------------------------
+# Tracing builder
+# ---------------------------------------------------------------------------
+
+def test_builder_traces_field_expression(toy_bn, rng):
+    tower = toy_bn.tower
+    builder = IRBuilder("expr")
+    x = builder.input(tower.twist_field, "x")
+    y = builder.input(tower.twist_field, "y")
+    z = (x + y) * x - y.square()
+    z = z.frobenius(1) + z.mul_small(3)
+    builder.output(z, "out")
+    module = builder.module
+    module.validate()
+    ops = module.op_histogram()
+    assert ops["mul"] == 1 and ops["sqr"] == 1 and ops["frob"] == 1 and ops["muli"] == 1
+
+    # Interpreting the trace must agree with direct evaluation.
+    a = tower.twist_field.random(rng)
+    b = tower.twist_field.random(rng)
+    expected = (a + b) * a - b.square()
+    expected = expected.frobenius(1) + expected.mul_small(3)
+    result = interpret_high_level(module, tower.levels, {"x": a, "y": b})
+    assert result["out"] == expected
+
+
+def test_builder_constant_deduplication(toy_bn):
+    tower = toy_bn.tower
+    builder = IRBuilder()
+    c1 = builder.constant(tower.fp.one())
+    c2 = builder.constant(tower.fp.one())
+    assert c1.vid == c2.vid
+
+
+def test_builder_pow_unrolls(toy_bn, rng):
+    tower = toy_bn.tower
+    builder = IRBuilder()
+    x = builder.input(tower.twist_field, "x")
+    builder.output(x ** 13, "out")
+    a = tower.twist_field.random(rng)
+    result = interpret_high_level(builder.module, tower.levels, {"x": a})
+    assert result["out"] == a ** 13
+
+
+def test_builder_mixed_degree_checks(toy_bn):
+    tower = toy_bn.tower
+    builder = IRBuilder()
+    x2 = builder.input(tower.twist_field, "x2")
+    x12 = builder.input(tower.full_field, "x12")
+    product = x2 * x12
+    assert product.field.degree == 12
+    with pytest.raises(IRError):
+        _ = x2 + x12
+
+
+# ---------------------------------------------------------------------------
+# Lowering (the Figure 4 mechanism)
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("config_name", ["all-karatsuba", "all-schoolbook", "manual"])
+def test_lowering_preserves_semantics(toy_bn, rng, config_name):
+    tower = toy_bn.tower
+    config = {
+        "all-karatsuba": VariantConfig.all_karatsuba(),
+        "all-schoolbook": VariantConfig.all_schoolbook(),
+        "manual": VariantConfig.manual(),
+    }[config_name]
+
+    builder = IRBuilder("fig4")
+    x = builder.input(tower.full_field, "x")
+    y = builder.input(tower.full_field, "y")
+    z = builder.input(tower.fp, "z")
+    result = (x * y).square() + x.frobenius(1) * z
+    result = result - x.conjugate()
+    result = result * result.inverse()
+    builder.output(result, "out")
+
+    low = lower_module(builder.module, tower.levels, config)
+    low.validate()
+    assert all(instr.degree == 1 for instr in low.instructions)
+
+    a = tower.full_field.random(rng)
+    b = tower.full_field.random(rng)
+    c = tower.fp.random(rng)
+    expected = (a * b).square() + a.frobenius(1) * c
+    expected = expected - a.conjugate()
+    expected = expected * expected.inverse()
+
+    inputs = {}
+    for name, value in (("x", a), ("y", b), ("z", c)):
+        for j, coeff in enumerate(value.to_base_coeffs()):
+            inputs[(name, j)] = coeff
+    outputs = interpret_low_level(low, toy_bn.params.p, inputs)
+    got = [outputs[("out", j)] for j in range(12)]
+    assert got == expected.to_base_coeffs()
+
+
+def test_lowering_variant_changes_mul_count(toy_bn):
+    tower = toy_bn.tower
+    builder = IRBuilder("mul12")
+    x = builder.input(tower.full_field, "x")
+    y = builder.input(tower.full_field, "y")
+    builder.output(x * y, "out")
+    karat = lower_module(builder.module, tower.levels, VariantConfig.all_karatsuba())
+    school = lower_module(builder.module, tower.levels, VariantConfig.all_schoolbook())
+    karat_muls = karat.op_histogram().get("mul", 0)
+    school_muls = school.op_histogram().get("mul", 0)
+    assert karat_muls == 54          # 3 * 6 * 3: Karatsuba at every level
+    assert school_muls == 144        # 4 * 9 * 4: schoolbook at every level
+    assert karat.op_histogram().get("add", 0) > 0
+
+
+def test_lowering_pack_and_sparse_zero_constants(toy_bn, rng):
+    tower = toy_bn.tower
+    builder = IRBuilder("pack")
+    c0 = builder.input(tower.twist_field, "c0")
+    zero = builder.constant(tower.twist_field.zero())
+    packed = builder.pack([c0, zero, zero, zero, zero, zero], tower.full_field)
+    builder.output(packed, "out")
+    low = lower_module(builder.module, tower.levels, VariantConfig.all_karatsuba())
+    value = tower.twist_field.random(rng)
+    inputs = {("c0", j): coeff for j, coeff in enumerate(value.to_base_coeffs())}
+    outputs = interpret_low_level(low, toy_bn.params.p, inputs)
+    got = [outputs[("out", j)] for j in range(12)]
+    expected = tower.embed_to_full(value).to_base_coeffs()
+    assert got == expected
+
+
+def test_lowering_rejects_point_ops(toy_bn):
+    module = IRModule(level="high")
+    a = module.emit("input", (), degree=2, attr="a")
+    module.emit("padd", (a, a), degree=2)
+    with pytest.raises(IRError):
+        lower_module(module, toy_bn.tower.levels, VariantConfig.all_karatsuba())
+
+
+def test_interpreter_missing_input(toy_bn):
+    builder = IRBuilder()
+    x = builder.input(toy_bn.tower.fp, "x")
+    builder.output(x, "out")
+    from repro.errors import SimulationError
+
+    with pytest.raises(SimulationError):
+        interpret_high_level(builder.module, toy_bn.tower.levels, {})

@@ -1,0 +1,165 @@
+"""Pairing correctness: bilinearity, non-degeneracy, oracle agreement, final exp."""
+
+import random
+
+import pytest
+
+from repro.pairing.ate import optimal_ate_pairing
+from repro.pairing.context import ConcretePairingContext
+from repro.pairing.exponent import cyclotomic_value, hard_exponent, solve_final_exp_plan
+from repro.pairing.final_exp import easy_part, final_exponentiation, hard_part
+from repro.pairing.miller import binary_digits, miller_loop, non_adjacent_form
+from repro.errors import PairingError
+
+
+# ---------------------------------------------------------------------------
+# Loop-scalar digit representations
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("value", [1, 2, 3, 7, 10, 255, 543, 6 * 543 + 2, 2**31 - 1])
+def test_naf_and_binary_digits(value):
+    naf = non_adjacent_form(value)
+    assert sum(d << i for i, d in enumerate(naf)) == value
+    assert all(d in (-1, 0, 1) for d in naf)
+    assert not any(naf[i] != 0 and naf[i + 1] != 0 for i in range(len(naf) - 1))
+    bits = binary_digits(value)
+    assert sum(b << i for i, b in enumerate(bits)) == value
+
+
+def test_digit_helpers_reject_negative():
+    with pytest.raises(PairingError):
+        non_adjacent_form(-5)
+    with pytest.raises(PairingError):
+        binary_digits(-5)
+
+
+# ---------------------------------------------------------------------------
+# Final-exponentiation plans
+# ---------------------------------------------------------------------------
+
+def test_final_exp_plan_poly_mode(toy_curve):
+    plan = toy_curve.final_exp_plan
+    assert plan.mode == "poly"
+    target = hard_exponent(toy_curve.params)
+    assert plan.exponent() == plan.c * target
+    assert plan.c in (1, 2, 3, 6)
+    assert plan.frobenius_terms <= 8
+    assert plan.max_u_degree <= 10
+
+
+def test_cyclotomic_value(toy_bn):
+    p = toy_bn.params.p
+    assert cyclotomic_value(12, p) == p**4 - p**2 + 1
+    assert cyclotomic_value(24, p) == p**8 - p**4 + 1
+    with pytest.raises(PairingError):
+        cyclotomic_value(16, p)
+
+
+def test_solve_plan_matches_catalog(toy_bn):
+    plan = solve_final_exp_plan(toy_bn.family, toy_bn.params)
+    assert plan.mode == toy_bn.final_exp_plan.mode
+    assert plan.exponent() == toy_bn.final_exp_plan.exponent()
+
+
+def test_easy_part_lands_in_cyclotomic_subgroup(toy_curve, rng):
+    ctx = ConcretePairingContext(toy_curve)
+    f = toy_curve.tower.full_field.random(rng)
+    if f.is_zero():
+        f = toy_curve.tower.full_field.one()
+    reduced = easy_part(ctx, f)
+    phi = cyclotomic_value(toy_curve.params.k, toy_curve.params.p)
+    assert (reduced ** phi).is_one()
+
+
+def test_hard_part_matches_integer_exponent(toy_bn, rng):
+    ctx = ConcretePairingContext(toy_bn)
+    f = toy_bn.tower.full_field.random(rng)
+    reduced = easy_part(ctx, f)
+    expected = reduced ** toy_bn.final_exp_plan.exponent()
+    assert hard_part(ctx, reduced) == expected
+
+
+# ---------------------------------------------------------------------------
+# Pairing properties
+# ---------------------------------------------------------------------------
+
+def test_pairing_is_bilinear(toy_curve):
+    curve = toy_curve
+    rng = random.Random(41)
+    P = curve.random_g1(rng)
+    Q = curve.random_g2(rng)
+    base = optimal_ate_pairing(curve, P, Q)
+    assert curve.is_valid_gt(base)
+    a = rng.randrange(2, curve.params.r)
+    b = rng.randrange(2, curve.params.r)
+    left = optimal_ate_pairing(curve, P.scalar_mul(a), Q.scalar_mul(b))
+    assert left == base ** (a * b % curve.params.r)
+    assert optimal_ate_pairing(curve, P.scalar_mul(a), Q) == optimal_ate_pairing(
+        curve, P, Q.scalar_mul(a)
+    )
+
+
+def test_pairing_non_degenerate(toy_curve):
+    curve = toy_curve
+    rng = random.Random(43)
+    P = curve.random_g1(rng)
+    Q = curve.random_g2(rng)
+    value = optimal_ate_pairing(curve, P, Q)
+    assert not value.is_one()
+    assert (value ** curve.params.r).is_one()
+
+
+def test_pairing_of_infinity_is_one(toy_bn, rng):
+    curve = toy_bn
+    P = curve.random_g1(rng)
+    Q = curve.random_g2(rng)
+    assert optimal_ate_pairing(curve, curve.curve.infinity(), Q).is_one()
+    assert optimal_ate_pairing(curve, P, curve.twist_curve.infinity()).is_one()
+
+
+def test_optimized_matches_reference_oracle(toy_curve):
+    curve = toy_curve
+    rng = random.Random(47)
+    P = curve.random_g1(rng)
+    Q = curve.random_g2(rng)
+    optimized = optimal_ate_pairing(curve, P, Q, mode="optimized")
+    reference = optimal_ate_pairing(curve, P, Q, mode="reference")
+    assert optimized == reference ** curve.final_exp_plan.c
+
+
+def test_naf_and_binary_loops_agree(toy_bn, rng):
+    curve = toy_bn
+    P = curve.random_g1(rng)
+    Q = curve.random_g2(rng)
+    assert optimal_ate_pairing(curve, P, Q, use_naf=True) == optimal_ate_pairing(
+        curve, P, Q, use_naf=False
+    )
+
+
+def test_unknown_mode_rejected(toy_bn, rng):
+    with pytest.raises(PairingError):
+        optimal_ate_pairing(toy_bn, toy_bn.g1_generator, toy_bn.g2_generator, mode="fast")
+
+
+def test_miller_loop_accepts_tuples(toy_bn, rng):
+    curve = toy_bn
+    P = curve.random_g1(rng)
+    Q = curve.random_g2(rng)
+    ctx = ConcretePairingContext(curve)
+    f = miller_loop(ctx, (P.x, P.y), (Q.x, Q.y))
+    value = final_exponentiation(ctx, f)
+    assert value == optimal_ate_pairing(curve, P, Q)
+
+
+@pytest.mark.slow
+def test_full_size_pairing_bilinearity():
+    from repro.curves.catalog import get_curve
+
+    curve = get_curve("BN254N")
+    rng = random.Random(53)
+    P = curve.random_g1(rng)
+    Q = curve.random_g2(rng)
+    base = optimal_ate_pairing(curve, P, Q)
+    a = rng.randrange(2, 2**64)
+    assert optimal_ate_pairing(curve, P.scalar_mul(a), Q) == base ** a
+    assert curve.is_valid_gt(base)

@@ -1,0 +1,164 @@
+"""Operator variants: correctness against schoolbook, cost table, configuration."""
+
+import random
+
+import pytest
+
+from repro.errors import FieldError
+from repro.fields.fp import PrimeField
+from repro.fields.tower import build_extension
+from repro.fields.variants import (
+    ConcreteStepOps,
+    VariantConfig,
+    get_variant,
+    list_variants,
+)
+
+
+@pytest.fixture(scope="module")
+def quadratic_setup():
+    fp = PrimeField(10007)
+    fp2 = build_extension(fp, 2)
+    return fp2, ConcreteStepOps(fp2.non_residue)
+
+
+@pytest.fixture(scope="module")
+def cubic_setup():
+    # p = 1 mod 3 so a cubic non-residue exists: use 10009? 10009 % 3 == 1.
+    fp = PrimeField(10009)
+    fp3 = build_extension(fp, 3)
+    return fp3, ConcreteStepOps(fp3.non_residue)
+
+
+def _random_tuple(field, degree, rng):
+    return tuple(field.base.random(rng) for _ in range(degree))
+
+
+@pytest.mark.parametrize("name", ["schoolbook", "karatsuba"])
+def test_mul2_variants_agree(quadratic_setup, name):
+    field, ops = quadratic_setup
+    rng = random.Random(hash(name) & 0xFFFF)
+    reference = get_variant("mul", 2, "schoolbook")
+    variant = get_variant("mul", 2, name)
+    for _ in range(20):
+        a = _random_tuple(field, 2, rng)
+        b = _random_tuple(field, 2, rng)
+        assert variant.apply(ops, a, b) == reference.apply(ops, a, b)
+
+
+@pytest.mark.parametrize("name", ["schoolbook", "complex", "karatsuba"])
+def test_sqr2_variants_agree(quadratic_setup, name):
+    field, ops = quadratic_setup
+    rng = random.Random(1 + (hash(name) & 0xFFFF))
+    mul = get_variant("mul", 2, "schoolbook")
+    variant = get_variant("sqr", 2, name)
+    for _ in range(20):
+        a = _random_tuple(field, 2, rng)
+        assert variant.apply(ops, a) == mul.apply(ops, a, a)
+
+
+@pytest.mark.parametrize("name", ["schoolbook", "karatsuba"])
+def test_mul3_variants_agree(cubic_setup, name):
+    field, ops = cubic_setup
+    rng = random.Random(2 + (hash(name) & 0xFFFF))
+    reference = get_variant("mul", 3, "schoolbook")
+    variant = get_variant("mul", 3, name)
+    for _ in range(20):
+        a = _random_tuple(field, 3, rng)
+        b = _random_tuple(field, 3, rng)
+        assert variant.apply(ops, a, b) == reference.apply(ops, a, b)
+
+
+@pytest.mark.parametrize("name", ["schoolbook", "ch-sqr1", "ch-sqr2", "ch-sqr3", "complex"])
+def test_sqr3_variants_agree(cubic_setup, name):
+    field, ops = cubic_setup
+    rng = random.Random(3 + (hash(name) & 0xFFFF))
+    mul = get_variant("mul", 3, "schoolbook")
+    variant = get_variant("sqr", 3, name)
+    for _ in range(20):
+        a = _random_tuple(field, 3, rng)
+        assert variant.apply(ops, a) == mul.apply(ops, a, a)
+
+
+# ---------------------------------------------------------------------------
+# Costs (Table 3)
+# ---------------------------------------------------------------------------
+
+def test_karatsuba2_cost_matches_table3():
+    cost = get_variant("mul", 2, "karatsuba").cost()
+    assert cost.mul == 3
+    assert cost.adj == 1
+    assert cost.add == 5
+
+
+def test_schoolbook2_cost_matches_table3():
+    cost = get_variant("mul", 2, "schoolbook").cost()
+    assert cost.mul == 4
+    assert cost.adj == 1
+
+
+def test_karatsuba3_cost():
+    cost = get_variant("mul", 3, "karatsuba").cost()
+    assert cost.mul == 6
+    assert get_variant("mul", 3, "schoolbook").cost().mul == 9
+
+
+def test_sqr_costs_ranked():
+    complex2 = get_variant("sqr", 2, "complex").cost()
+    school2 = get_variant("sqr", 2, "schoolbook").cost()
+    assert complex2.mul + complex2.sqr <= school2.mul + school2.sqr
+    ch2 = get_variant("sqr", 3, "ch-sqr2").cost()
+    assert ch2.mul + ch2.sqr == 5
+
+
+def test_cost_string_and_weight():
+    cost = get_variant("mul", 2, "karatsuba").cost()
+    assert "3M" in str(cost)
+    assert cost.weighted(mul_weight=1.0, linear_weight=0.0) == 3
+
+
+# ---------------------------------------------------------------------------
+# Registry and configuration
+# ---------------------------------------------------------------------------
+
+def test_registry_lookup_and_errors():
+    assert len(list_variants()) >= 10
+    assert len(list_variants("mul")) >= 4
+    assert len(list_variants("sqr", 3)) >= 4
+    with pytest.raises(FieldError):
+        get_variant("mul", 2, "does-not-exist")
+
+
+def test_variant_config_defaults_and_overrides():
+    config = VariantConfig.all_karatsuba()
+    assert config.variant_for("mul", 12, 3).name == "karatsuba"
+    school = VariantConfig.all_schoolbook()
+    assert school.variant_for("mul", 12, 3).name == "schoolbook"
+    manual = VariantConfig.manual()
+    assert manual.variant_for("mul", 2, 2).name == "schoolbook"
+    assert manual.variant_for("mul", 12, 3).name == "karatsuba"
+    override = config.with_override("mul", 6, "schoolbook")
+    assert override.variant_for("mul", 6, 3).name == "schoolbook"
+    assert config.variant_for("mul", 6, 3).name == "karatsuba"
+
+
+def test_variant_config_cache_key_and_describe():
+    a = VariantConfig.all_karatsuba()
+    b = VariantConfig.all_karatsuba()
+    assert a.cache_key() == b.cache_key()
+    c = a.with_override("mul", 2, "schoolbook")
+    assert c.cache_key() != a.cache_key()
+    description = c.describe()
+    assert description["overrides"] == {"mul@2": "schoolbook"}
+
+
+def test_variant_config_rejects_unknown_point_style():
+    with pytest.raises(FieldError):
+        VariantConfig(point_style="edwards")
+
+
+def test_schoolbook_below_threshold():
+    config = VariantConfig.schoolbook_below(4)
+    assert config.variant_for("mul", 2, 2).name == "schoolbook"
+    assert config.variant_for("mul", 4, 2).name == "schoolbook"
+    assert config.variant_for("mul", 12, 3).name == "karatsuba"
