@@ -4,33 +4,38 @@ Explores operator-variant combinations across several hardware models for a
 BLS24 curve, ranks the design points by throughput and by area efficiency, and
 runs the ALU-family co-design sweep that picks the modular multiplier pipeline
 depth (Figure 11).
+
+Usage: ``python design_space_exploration.py [curve] [workers]`` -- pass a worker
+count > 1 to shard the sweep across processes via the parallel engine; the
+second objective pass is served entirely from the compile cache either way.
 """
 
 import sys
 
 from repro import get_curve
 from repro.dse.codesign import alu_family_codesign, best_depth
-from repro.dse.explorer import DesignSpaceExplorer
+from repro.dse.engine import ParallelExplorer
 from repro.dse.space import design_points, named_variant_configs
 from repro.hw.presets import figure10_models
 
 
 def main() -> int:
     curve_name = sys.argv[1] if len(sys.argv) > 1 else "TOY-BLS24-79"
+    workers = int(sys.argv[2]) if len(sys.argv) > 2 else None
     curve = get_curve(curve_name)
     print(f"exploring the design space for {curve.name} (k log p = {curve.k * curve.p.bit_length()})")
 
     configs = list(named_variant_configs().values())
     hw_models = figure10_models(curve.p.bit_length())
     points = design_points(configs, hw_models)
-    explorer = DesignSpaceExplorer(curve)
-
     print(f"\n{len(points)} design points (variant combination x pipeline configuration)")
-    for objective in ("throughput", "efficiency"):
-        ranked = explorer.explore(points, objective=objective)
-        print(f"\nbest designs by {objective}:")
-        for metrics in ranked[:3]:
-            print(f"  {metrics.describe()}")
+    with ParallelExplorer(curve, workers=workers) as explorer:
+        for objective in ("throughput", "efficiency"):
+            ranked = explorer.explore(points, objective=objective)
+            print(f"\nbest designs by {objective}:")
+            for metrics in ranked[:3]:
+                print(f"  {metrics.describe()}")
+            print(f"  [{explorer.last_report.describe()}]")
 
     print("\nALU-family co-design (modular multiplier pipeline depth):")
     records = alu_family_codesign(curve, long_latencies=(14, 20, 26, 32, 38))

@@ -14,23 +14,31 @@ The package is organised as a stack of subsystems mirroring the paper:
 The most common entry points are re-exported here.
 """
 
-from repro.compiler.pipeline import CompilerPipeline, compile_pairing
+from repro.compiler.pipeline import (
+    CompilerPipeline,
+    compile_cache_stats,
+    compile_pairing,
+)
 from repro.curves.catalog import get_curve, list_curves
 from repro.fields.variants import VariantConfig
 from repro.hw.model import HardwareModel
 from repro.hw.presets import default_model, paper_hw1, paper_hw2
 from repro.pairing.ate import optimal_ate_pairing
+from repro.pairing.batch import multi_pairing, precompute_g2
 from repro.sim.cycle import CycleAccurateSimulator
 from repro.sim.functional import FunctionalSimulator
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "get_curve",
     "list_curves",
     "optimal_ate_pairing",
+    "multi_pairing",
+    "precompute_g2",
     "CompilerPipeline",
     "compile_pairing",
+    "compile_cache_stats",
     "VariantConfig",
     "HardwareModel",
     "default_model",

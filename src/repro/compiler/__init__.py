@@ -4,13 +4,22 @@ Stages (Section 3.5 of the paper): CodeGen -> IROpt -> BankAlloc -> PackSched ->
 RegAlloc -> ASM -> Link, orchestrated by :class:`repro.compiler.pipeline.CompilerPipeline`.
 """
 
-from repro.compiler.pipeline import CompilerPipeline, CompileResult, compile_pairing
+from repro.compiler.cache import CacheStats, CompileCache
+from repro.compiler.pipeline import (
+    CompilerPipeline,
+    CompileResult,
+    compile_cache_stats,
+    compile_pairing,
+)
 from repro.compiler.codegen import generate_pairing_ir, TracingPairingContext
 
 __all__ = [
     "CompilerPipeline",
     "CompileResult",
+    "CompileCache",
+    "CacheStats",
     "compile_pairing",
+    "compile_cache_stats",
     "generate_pairing_ir",
     "TracingPairingContext",
 ]

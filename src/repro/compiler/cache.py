@@ -1,0 +1,136 @@
+"""Content-addressed compile cache with hit/miss accounting.
+
+Every stage of the pipeline (and its final :class:`CompileResult`) is memoised
+behind a :class:`CompileCache`: a process-local, content-addressed store whose
+keys are SHA-256 digests of the *semantic* configuration of a compilation --
+curve name, operator-variant configuration (:meth:`VariantConfig.cache_key`),
+hardware model (:meth:`HardwareModel.cache_key`) and the pipeline flags.  Two
+design points that describe the same computation therefore share one entry even
+when they were constructed independently, while any difference in a variant
+override or a hardware parameter produces a different digest.
+
+The cache keeps running statistics (:class:`CacheStats`) so that design-space
+sweeps can assert reuse: a second sweep over the same design points must be
+served entirely from cache (zero recompilations), which is what keeps the
+``evaluation/fig*``/``table*`` scripts and the parallel explorer
+(:mod:`repro.dse.engine`) fast enough for production-scale spaces.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+
+@dataclass
+class CacheStats:
+    """Running hit/miss counters of one :class:`CompileCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+    def merge(self, other: "CacheStats | dict") -> "CacheStats":
+        """Accumulate another process's counters (used by the parallel explorer)."""
+        if isinstance(other, CacheStats):
+            hits, misses, stores = other.hits, other.misses, other.stores
+        else:
+            hits, misses, stores = other["hits"], other["misses"], other["stores"]
+        self.hits += hits
+        self.misses += misses
+        self.stores += stores
+        return self
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+
+_MISSING = object()
+
+
+class CompileCache:
+    """Process-local content-addressed store for compilation artefacts.
+
+    Keys are produced by :meth:`make_key` (a SHA-256 digest of the semantic
+    configuration); any other hashable key is accepted too, which lets the
+    stage-level caches of :mod:`repro.compiler.pipeline` reuse the same
+    instrumentation with their native tuple keys.
+    """
+
+    def __init__(self, name: str = "compile"):
+        self.name = name
+        self._entries: dict = {}
+        self.stats = CacheStats()
+
+    # -- keying ------------------------------------------------------------------
+    @staticmethod
+    def make_key(curve_name: str, variant_config, hw, **flags) -> str:
+        """Content-address one (curve, variant config, hw model, flags) combination."""
+        material = repr((
+            curve_name,
+            variant_config.cache_key() if variant_config is not None else None,
+            hw.cache_key() if hw is not None else None,
+            tuple(sorted(flags.items())),
+        ))
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+    # -- store/lookup ------------------------------------------------------------
+    def lookup(self, key):
+        """Return the cached value or ``None``, counting the hit or miss."""
+        value = self._entries.get(key, _MISSING)
+        if value is _MISSING:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return value
+
+    def store(self, key, value) -> None:
+        self.stats.stores += 1
+        self._entries[key] = value
+
+    def get_or_compute(self, key, factory):
+        """Memoised call: ``factory()`` runs only on a miss."""
+        value = self._entries.get(key, _MISSING)
+        if value is not _MISSING:
+            self.stats.hits += 1
+            return value
+        self.stats.misses += 1
+        value = factory()
+        self.stats.stores += 1
+        self._entries[key] = value
+        return value
+
+    def __contains__(self, key) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self, reset_stats: bool = True) -> None:
+        self._entries.clear()
+        if reset_stats:
+            self.stats.reset()
+
+    def describe(self) -> dict:
+        summary = self.stats.snapshot()
+        summary["entries"] = len(self._entries)
+        summary["name"] = self.name
+        return summary

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 from repro.compiler.asm import assemble
 from repro.compiler.bankalloc import allocate_banks
+from repro.compiler.cache import CompileCache
 from repro.compiler.codegen import generate_pairing_ir
 from repro.compiler.opt import OptStats, optimize
 from repro.compiler.regalloc import allocate_registers
@@ -193,36 +194,32 @@ class CompilerPipeline:
 
 
 # ---------------------------------------------------------------------------
-# Stage-level caches (per process)
+# Stage-level caches (per process, instrumented)
 # ---------------------------------------------------------------------------
 
-_HL_CACHE: dict = {}
-_LOW_CACHE: dict = {}
-_OPT_CACHE: dict = {}
-_RESULT_CACHE: dict = {}
+_HL_CACHE = CompileCache("codegen")
+_LOW_CACHE = CompileCache("lowering")
+_OPT_CACHE = CompileCache("iropt")
+_RESULT_CACHE = CompileCache("result")
 
 
 def _cached_hl_module(curve, use_naf: bool):
     key = (curve.name, use_naf)
-    if key not in _HL_CACHE:
-        _HL_CACHE[key] = generate_pairing_ir(curve, use_naf=use_naf)
-    return _HL_CACHE[key]
+    return _HL_CACHE.get_or_compute(key, lambda: generate_pairing_ir(curve, use_naf=use_naf))
 
 
 def _cached_low_module(curve, config: VariantConfig, use_naf: bool):
     key = (curve.name, use_naf, config.cache_key())
-    if key not in _LOW_CACHE:
-        hl = _cached_hl_module(curve, use_naf)
-        _LOW_CACHE[key] = lower_module(hl, curve.tower.levels, config)
-    return _LOW_CACHE[key]
+    return _LOW_CACHE.get_or_compute(
+        key, lambda: lower_module(_cached_hl_module(curve, use_naf), curve.tower.levels, config)
+    )
 
 
 def _cached_optimized(curve, config: VariantConfig, use_naf: bool):
     key = (curve.name, use_naf, config.cache_key())
-    if key not in _OPT_CACHE:
-        low = _cached_low_module(curve, config, use_naf)
-        _OPT_CACHE[key] = optimize(low, curve.params.p)
-    return _OPT_CACHE[key]
+    return _OPT_CACHE.get_or_compute(
+        key, lambda: optimize(_cached_low_module(curve, config, use_naf), curve.params.p)
+    )
 
 
 def clear_caches() -> None:
@@ -231,6 +228,19 @@ def clear_caches() -> None:
     _LOW_CACHE.clear()
     _OPT_CACHE.clear()
     _RESULT_CACHE.clear()
+
+
+def compile_cache_stats() -> dict:
+    """Hit/miss/store counters of every pipeline cache, keyed by stage name.
+
+    The ``result`` entry is the one design-space sweeps care about: its miss
+    count is exactly the number of full recompilations performed since the last
+    :func:`clear_caches`.
+    """
+    return {
+        cache.name: cache.describe()
+        for cache in (_HL_CACHE, _LOW_CACHE, _OPT_CACHE, _RESULT_CACHE)
+    }
 
 
 def compile_pairing(
@@ -248,19 +258,21 @@ def compile_pairing(
     """Compile the pairing kernel for ``curve`` (cached by full configuration)."""
     variant_config = variant_config or VariantConfig.all_karatsuba()
     hw_resolved = (hw or default_model(curve.params.p.bit_length())).validate()
-    key = (
+    key = CompileCache.make_key(
         curve.name,
-        hw_resolved.cache_key(),
-        variant_config.cache_key(),
-        optimize_ir,
-        use_naf,
-        use_affinity,
-        do_assemble,
-        include_baseline,
-        record_trace,
+        variant_config,
+        hw_resolved,
+        optimize_ir=optimize_ir,
+        use_naf=use_naf,
+        use_affinity=use_affinity,
+        do_assemble=do_assemble,
+        include_baseline=include_baseline,
+        record_trace=record_trace,
     )
-    if use_cache and key in _RESULT_CACHE:
-        return _RESULT_CACHE[key]
+    if use_cache:
+        cached = _RESULT_CACHE.lookup(key)
+        if cached is not None:
+            return cached
     pipeline = CompilerPipeline(
         hw=hw_resolved,
         variant_config=variant_config,
@@ -272,5 +284,5 @@ def compile_pairing(
     )
     result = pipeline.compile(curve, include_baseline=include_baseline)
     if use_cache:
-        _RESULT_CACHE[key] = result
+        _RESULT_CACHE.store(key, result)
     return result

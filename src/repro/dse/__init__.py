@@ -2,6 +2,7 @@
 
 from repro.dse.space import DesignPoint, figure2_variant_configs, named_variant_configs, variant_combinations
 from repro.dse.explorer import DesignMetrics, DesignSpaceExplorer, evaluate_design_point
+from repro.dse.engine import ExplorationReport, ParallelExplorer
 from repro.dse.codesign import alu_family_codesign
 
 __all__ = [
@@ -11,6 +12,8 @@ __all__ = [
     "variant_combinations",
     "DesignMetrics",
     "DesignSpaceExplorer",
+    "ParallelExplorer",
+    "ExplorationReport",
     "evaluate_design_point",
     "alu_family_codesign",
 ]

@@ -5,16 +5,21 @@ multiplier: deeper pipelines raise the clock frequency (until the technology
 floor) but expose more latency to the scheduler, lowering IPC.  The co-design
 loop couples the timing model (standing in for the EDA critical-path report)
 with the compiler/simulator IPC feedback and picks the best depth.
+
+The per-depth candidates are evaluated through the parallel exploration engine
+(:mod:`repro.dse.engine`): pass ``workers=N`` to sweep the family across
+processes, and repeated sweeps are served from the compile cache.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.compiler.pipeline import compile_pairing
+from repro.dse.space import DesignPoint
+from repro.fields.variants import VariantConfig
 from repro.hw.presets import default_model
 from repro.hw.technology import TECH_40NM, TechnologyNode
-from repro.hw.timing import critical_path_ns, frequency_mhz
+from repro.hw.timing import critical_path_ns
 
 
 @dataclass(frozen=True)
@@ -44,25 +49,34 @@ def alu_family_codesign(
     long_latencies=tuple(range(14, 42, 3)),
     technology: TechnologyNode = TECH_40NM,
     variant_config=None,
+    workers: int | None = None,
 ) -> list:
     """Sweep the mmul pipeline depth and return one record per candidate."""
+    from repro.dse.engine import ParallelExplorer
+
     width = curve.params.p.bit_length()
+    config = variant_config or VariantConfig.all_karatsuba()
+    points = [
+        DesignPoint(
+            variant_config=config,
+            hw=default_model(width, name=f"L{latency}").with_long_latency(latency),
+            label=f"L{latency}",
+        )
+        for latency in long_latencies
+    ]
+    with ParallelExplorer(curve, workers=workers, technology=technology) as engine:
+        engine.explore(points, objective="throughput")
     records = []
-    for long_latency in long_latencies:
-        hw = default_model(width, name=f"L{long_latency}").with_long_latency(long_latency)
-        result = compile_pairing(curve, hw=hw, variant_config=variant_config)
-        cp = critical_path_ns(width, long_latency, technology)
-        freq = frequency_mhz(width, long_latency, technology)
-        latency_us = result.cycles / freq
+    for long_latency, metrics in zip(long_latencies, engine.evaluated):
         records.append(
             CodesignRecord(
                 long_latency=long_latency,
-                critical_path_ns=cp,
-                frequency_mhz=freq,
-                ipc=result.ipc,
-                cycles=result.cycles,
-                latency_us=latency_us,
-                throughput_kops=1e3 / latency_us,
+                critical_path_ns=critical_path_ns(width, long_latency, technology),
+                frequency_mhz=metrics.frequency_mhz,
+                ipc=metrics.ipc,
+                cycles=metrics.cycles,
+                latency_us=metrics.latency_us,
+                throughput_kops=1e3 / metrics.latency_us,
             )
         )
     return records

@@ -1,0 +1,278 @@
+"""Parallel, cache-aware design-space exploration engine.
+
+The co-design loop of Section 3.6 -- compile, schedule, simulate and price every
+design point -- is embarrassingly parallel: no point depends on any other.  The
+:class:`ParallelExplorer` exploits that by sharding a design space across a
+``ProcessPoolExecutor`` while keeping the result stream fully deterministic.
+
+Knobs
+-----
+``workers``
+    Number of worker processes.  ``workers=1`` (the default) runs the classic
+    in-process loop and is *bit-identical* to the historical sequential
+    explorer; ``workers=N`` shards the space into chunks, evaluates them in
+    parallel and merges results back into submission order before ranking, so
+    the ranked output is independent of worker count and scheduling.  The
+    default can be set globally with the ``FINESSE_DSE_WORKERS`` environment
+    variable (used by the evaluation runner's ``--workers`` flag).
+``chunk_size``
+    Points per dispatched work unit.  Defaults to a balanced
+    ``ceil(len(points) / (4 * workers))`` so stragglers (large kernels) do not
+    serialise the sweep.
+``do_assemble``
+    Skip the assembler/linker stage when only cycle counts are needed
+    (the Figure 10 search does this).
+
+Caching
+-------
+Every evaluation funnels through :func:`repro.compiler.pipeline.compile_pairing`
+and therefore through the content-addressed compile cache
+(:mod:`repro.compiler.cache`): identical (curve, variant config, hw model)
+combinations compile exactly once per process, and a repeated sweep over the
+same design points performs zero recompilations.  After every sweep the engine
+stores that sweep's per-stage cache counters (local delta plus all worker
+deltas) in ``last_report.cache_stats``.
+
+Worker processes reconstruct the curve from its catalog name (curve objects
+hold deeply nested field towers that are expensive to ship), so multi-process
+exploration is only attempted for catalog curves; anything else, or an
+environment in which process pools cannot be created, falls back to the
+sequential path transparently.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+
+from repro.compiler.pipeline import compile_cache_stats
+from repro.curves.catalog import CURVE_SPECS
+from repro.dse.explorer import evaluate_design_point, resolve_objective
+from repro.errors import DSEError
+from repro.hw.technology import TECH_40NM, TechnologyNode
+
+#: Environment variable providing the default worker count.
+WORKERS_ENV = "FINESSE_DSE_WORKERS"
+
+
+def default_workers() -> int:
+    """Worker count from ``FINESSE_DSE_WORKERS`` (defaults to 1, i.e. sequential)."""
+    raw = os.environ.get(WORKERS_ENV, "")
+    try:
+        workers = int(raw)
+    except ValueError:
+        return 1
+    return max(1, workers)
+
+
+@dataclass
+class ExplorationReport:
+    """Bookkeeping of one :meth:`ParallelExplorer.explore` sweep."""
+
+    points: int
+    workers: int
+    chunks: int
+    objective: str
+    parallel: bool
+    #: Merged compile-cache statistics (this process plus every worker).
+    cache_stats: dict = field(default_factory=dict)
+
+    def describe(self) -> dict:
+        result_stats = self.cache_stats.get("result", {})
+        return {
+            "points": self.points,
+            "workers": self.workers,
+            "chunks": self.chunks,
+            "objective": self.objective,
+            "parallel": self.parallel,
+            "compile_hits": result_stats.get("hits", 0),
+            "compile_misses": result_stats.get("misses", 0),
+        }
+
+
+_COUNTERS = ("hits", "misses", "stores")
+
+#: Process-lifetime totals of the compile work done *inside worker pools*
+#: (the parent's ``compile_cache_stats`` cannot see it).
+_WORKER_TOTALS: dict = {}
+
+
+def worker_cache_stats() -> dict:
+    """Accumulated per-stage cache counters of every worker sweep so far."""
+    return {name: dict(stats) for name, stats in _WORKER_TOTALS.items()}
+
+
+def _stats_delta(after: dict, before: dict) -> dict:
+    """Per-stage counter difference between two ``compile_cache_stats`` snapshots."""
+    return {
+        name: {
+            counter: stats.get(counter, 0) - before.get(name, {}).get(counter, 0)
+            for counter in _COUNTERS
+        }
+        for name, stats in after.items()
+    }
+
+
+def _evaluate_chunk(curve_name, chunk, n_cores, technology, do_assemble):
+    """Worker entry point: evaluate one chunk of (index, point) pairs.
+
+    Runs in a separate process; the curve is rebuilt (or found pre-built when
+    the pool forks) from the catalog.  The compile-cache counter *delta* of the
+    chunk is returned alongside the metrics -- a delta, because one pool worker
+    may serve several chunks and its cumulative counters would double-count.
+    """
+    from repro.curves.catalog import get_curve
+
+    curve = get_curve(curve_name)
+    before = compile_cache_stats()
+    evaluated = [
+        (index, evaluate_design_point(curve, point, n_cores, technology, do_assemble))
+        for index, point in chunk
+    ]
+    return evaluated, _stats_delta(compile_cache_stats(), before)
+
+
+class ParallelExplorer:
+    """Shard design-point evaluation across processes; merge deterministically."""
+
+    def __init__(
+        self,
+        curve,
+        workers: int | None = None,
+        n_cores: int = 1,
+        technology: TechnologyNode = TECH_40NM,
+        chunk_size: int | None = None,
+        do_assemble: bool = True,
+    ):
+        self.curve = curve
+        self.workers = default_workers() if workers is None else max(1, int(workers))
+        self.n_cores = n_cores
+        self.technology = technology
+        self.chunk_size = chunk_size
+        self.do_assemble = do_assemble
+        #: Metrics of the last sweep, in submission order (mirrors the points list).
+        self.evaluated: list = []
+        self.last_report: ExplorationReport | None = None
+        # The pool is created lazily and reused across sweeps so worker-side
+        # compile caches stay warm; ``close()`` (or the context manager) frees it.
+        self._pool = None
+        self._pool_unavailable = False
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "ParallelExplorer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- internals ---------------------------------------------------------------
+    def _chunks(self, points) -> list:
+        """Split indexed points into contiguous chunks (deterministic)."""
+        if self.chunk_size is not None:
+            size = max(1, self.chunk_size)
+        else:
+            size = max(1, -(-len(points) // (4 * self.workers)))
+        indexed = list(enumerate(points))
+        return [indexed[i:i + size] for i in range(0, len(indexed), size)]
+
+    def _evaluate_sequential(self, points) -> list:
+        return [
+            evaluate_design_point(self.curve, point, self.n_cores, self.technology,
+                                  self.do_assemble)
+            for point in points
+        ]
+
+    def _evaluate_parallel(self, points):
+        """Fan chunks out to a process pool; reassemble in submission order.
+
+        Returns ``(metrics, chunks, merged_worker_stats)`` or ``None`` when the
+        pool cannot be used (non-catalog curve, restricted environment), in
+        which case the caller falls back to the sequential path.
+        """
+        if self.curve.name not in CURVE_SPECS or self._pool_unavailable:
+            return None
+        chunks = self._chunks(points)
+        slots: list = [None] * len(points)
+        worker_stats: list = []
+        try:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            for evaluated, stats in self._pool.map(
+                _evaluate_chunk,
+                [self.curve.name] * len(chunks),
+                chunks,
+                [self.n_cores] * len(chunks),
+                [self.technology] * len(chunks),
+                [self.do_assemble] * len(chunks),
+            ):
+                for index, metrics in evaluated:
+                    slots[index] = metrics
+                worker_stats.append(stats)
+        except (OSError, PermissionError, ImportError, BrokenProcessPool):
+            # Process pools need /dev/shm semaphores and fork/spawn rights;
+            # sandboxed CI runners sometimes deny both.  Remember the failure
+            # and serve every subsequent sweep sequentially.
+            self._pool_unavailable = True
+            self.close()
+            return None
+        return slots, chunks, worker_stats
+
+    @staticmethod
+    def _merge_cache_stats(local_delta, worker_stats) -> dict:
+        """This sweep's counters: local delta plus every worker chunk delta."""
+        merged = {name: dict(stats) for name, stats in local_delta.items()}
+        for stats in worker_stats:
+            for name, counters in stats.items():
+                entry = merged.setdefault(name, dict.fromkeys(_COUNTERS, 0))
+                for counter in _COUNTERS:
+                    entry[counter] = entry.get(counter, 0) + counters.get(counter, 0)
+        return merged
+
+    # -- public API --------------------------------------------------------------
+    def explore(self, points, objective="throughput") -> list:
+        """Evaluate every point; returns metrics sorted best-first by the objective.
+
+        ``self.evaluated`` retains the metrics in submission order (one entry per
+        design point) and ``self.last_report`` the sweep's bookkeeping.
+        """
+        score = resolve_objective(objective)
+        points = list(points)
+        stats_before = compile_cache_stats()
+        parallel_result = None
+        if self.workers > 1 and len(points) > 1:
+            parallel_result = self._evaluate_parallel(points)
+        if parallel_result is None:
+            self.evaluated = self._evaluate_sequential(points)
+            chunks, worker_stats, parallel = [], [], False
+        else:
+            self.evaluated, chunks, worker_stats = parallel_result
+            parallel = True
+            for stats in worker_stats:
+                for name, counters in stats.items():
+                    entry = _WORKER_TOTALS.setdefault(name, dict.fromkeys(_COUNTERS, 0))
+                    for counter in _COUNTERS:
+                        entry[counter] += counters.get(counter, 0)
+        local_delta = _stats_delta(compile_cache_stats(), stats_before)
+        self.last_report = ExplorationReport(
+            points=len(points),
+            workers=self.workers,
+            chunks=len(chunks),
+            objective=objective if isinstance(objective, str) else getattr(
+                objective, "__name__", "custom"),
+            parallel=parallel,
+            cache_stats=self._merge_cache_stats(local_delta, worker_stats),
+        )
+        return sorted(self.evaluated, key=score, reverse=True)
+
+    def best(self, points, objective="throughput"):
+        ranked = self.explore(points, objective)
+        if not ranked:
+            raise DSEError("empty design space")
+        return ranked[0]

@@ -58,14 +58,26 @@ OBJECTIVES = {
 }
 
 
+def resolve_objective(objective):
+    """Turn an objective name (or scoring callable) into a scoring callable."""
+    if callable(objective):
+        return objective
+    try:
+        return OBJECTIVES[objective]
+    except KeyError as exc:
+        raise DSEError(f"unknown objective {objective!r}") from exc
+
+
 def evaluate_design_point(
     curve,
     point: DesignPoint,
     n_cores: int = 1,
     technology: TechnologyNode = TECH_40NM,
+    do_assemble: bool = True,
 ) -> DesignMetrics:
     """Compile + simulate + price one design point."""
-    result = compile_pairing(curve, hw=point.hw, variant_config=point.variant_config)
+    result = compile_pairing(curve, hw=point.hw, variant_config=point.variant_config,
+                             do_assemble=do_assemble)
     freq = frequency_mhz(point.hw.word_width, point.hw.long_latency, technology)
     latency_us = result.cycles / freq
     throughput = n_cores * 1e6 / latency_us
@@ -87,7 +99,12 @@ def evaluate_design_point(
 
 
 class DesignSpaceExplorer:
-    """Exhaustive search over a list of design points (the paper's baseline strategy)."""
+    """Exhaustive search over a list of design points (the paper's baseline strategy).
+
+    Evaluation is routed through :class:`repro.dse.engine.ParallelExplorer` with
+    ``workers=1``, which is bit-identical to the historical in-order loop; use
+    the engine directly to shard a large space across processes.
+    """
 
     def __init__(self, curve, n_cores: int = 1, technology: TechnologyNode = TECH_40NM):
         self.curve = curve
@@ -97,18 +114,13 @@ class DesignSpaceExplorer:
 
     def explore(self, points, objective="throughput") -> list:
         """Evaluate every point; returns metrics sorted best-first by the objective."""
-        if callable(objective):
-            score = objective
-        else:
-            try:
-                score = OBJECTIVES[objective]
-            except KeyError as exc:
-                raise DSEError(f"unknown objective {objective!r}") from exc
-        self.evaluated = [
-            evaluate_design_point(self.curve, point, self.n_cores, self.technology)
-            for point in points
-        ]
-        return sorted(self.evaluated, key=score, reverse=True)
+        from repro.dse.engine import ParallelExplorer
+
+        engine = ParallelExplorer(self.curve, workers=1, n_cores=self.n_cores,
+                                  technology=self.technology)
+        ranked = engine.explore(points, objective)
+        self.evaluated = engine.evaluated
+        return ranked
 
     def best(self, points, objective="throughput") -> DesignMetrics:
         ranked = self.explore(points, objective)

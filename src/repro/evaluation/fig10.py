@@ -1,16 +1,23 @@
 """Figure 10: design-space search over operator-variant combinations and
-representative pipeline configurations (BLS24 curve)."""
+representative pipeline configurations (BLS24 curve).
+
+The full cross product (variant combination x pipeline configuration) is built
+as one design space and swept through the parallel exploration engine, so the
+search honours ``FINESSE_DSE_WORKERS`` (or an explicit ``workers=`` argument)
+and repeated runs hit the compile cache instead of recompiling.
+"""
 
 from __future__ import annotations
 
-from repro.compiler.pipeline import compile_pairing
 from repro.curves.catalog import get_curve
-from repro.dse.space import named_variant_configs, variant_combinations
+from repro.dse.engine import ParallelExplorer
+from repro.dse.space import DesignPoint, named_variant_configs, variant_combinations
 from repro.evaluation.common import bench_scale, dse_curve_name
 from repro.hw.presets import figure10_models
 
 
-def run(scale: str | None = None, exhaustive: bool | None = None) -> dict:
+def run(scale: str | None = None, exhaustive: bool | None = None,
+        workers: int | None = None) -> dict:
     scale = scale or bench_scale()
     curve = get_curve(dse_curve_name(scale))
     width = curve.params.p.bit_length()
@@ -21,20 +28,32 @@ def run(scale: str | None = None, exhaustive: bool | None = None) -> dict:
         exhaustive = scale == "full"
     search_space = variant_combinations(degrees=(2, 4, 6, 12, 24)) if exhaustive else []
 
+    # One flat design space; the engine shards it and merges deterministically.
+    all_configs = list(configs.values()) + search_space
+    points = [
+        DesignPoint(variant_config=config, hw=hw, label=f"{config.name}/{hw.name}")
+        for hw in hw_models
+        for config in all_configs
+    ]
+    with ParallelExplorer(curve, workers=workers, do_assemble=False) as engine:
+        engine.explore(points, objective="latency")
+    cycles_of = {point.label: metrics.cycles
+                 for point, metrics in zip(points, engine.evaluated)}
+
     rows = []
     for hw in hw_models:
         entry = {"hw": hw.name, "issue_width": hw.issue_width, "results": {}}
         best_cycles = None
         best_label = None
         for label, config in configs.items():
-            result = compile_pairing(curve, hw=hw, variant_config=config, do_assemble=False)
-            entry["results"][label] = result.cycles
-            if best_cycles is None or result.cycles < best_cycles:
-                best_cycles, best_label = result.cycles, label
+            cycles = cycles_of[f"{config.name}/{hw.name}"]
+            entry["results"][label] = cycles
+            if best_cycles is None or cycles < best_cycles:
+                best_cycles, best_label = cycles, label
         for config in search_space:
-            result = compile_pairing(curve, hw=hw, variant_config=config, do_assemble=False)
-            if result.cycles < best_cycles:
-                best_cycles, best_label = result.cycles, config.name
+            cycles = cycles_of[f"{config.name}/{hw.name}"]
+            if cycles < best_cycles:
+                best_cycles, best_label = cycles, config.name
         entry["results"]["optimal"] = best_cycles
         entry["optimal_config"] = best_label
         rows.append(entry)

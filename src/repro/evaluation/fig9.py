@@ -9,7 +9,7 @@ cycle 10 000, as in the paper, together with occupancy statistics.
 from __future__ import annotations
 
 from repro.compiler.bankalloc import allocate_banks
-from repro.compiler.pipeline import _cached_low_module, _cached_optimized, compile_pairing
+from repro.compiler.pipeline import _cached_optimized, compile_pairing
 from repro.compiler.schedule import program_order_schedule
 from repro.curves.catalog import get_curve
 from repro.evaluation.common import hw_for_curve, paper_curve_names

@@ -1,11 +1,20 @@
-"""Run every table/figure experiment and render a consolidated report."""
+"""Run every table/figure experiment and render a consolidated report.
+
+``--workers N`` routes the design-space experiments through the parallel
+exploration engine (:mod:`repro.dse.engine`) with N worker processes; the
+consolidated JSON report additionally records the compile-cache statistics of
+the run, so sweep-over-sweep reuse is visible in the artifacts.
+"""
 
 from __future__ import annotations
 
 import json
+import os
 import sys
 import time
 
+from repro.compiler.pipeline import compile_cache_stats
+from repro.dse.engine import WORKERS_ENV, worker_cache_stats
 from repro.evaluation import (
     fig2,
     fig6,
@@ -52,7 +61,25 @@ def run_all(scale: str | None = None, names=None, verbose: bool = True) -> dict:
             print(f"== {name} ({result['seconds']}s) ==")
             print(module.render(result))
             print()
+    if verbose:
+        print(render_cache_report())
     return results
+
+
+def render_cache_report() -> str:
+    """One-line-per-stage summary of the compile caches after a run."""
+    lines = ["compile caches (stage: hits/misses, entries):"]
+    for name, stats in compile_cache_stats().items():
+        lines.append(
+            f"  {name:<10} {stats['hits']}/{stats['misses']} "
+            f"({stats['entries']} entries, hit rate {stats['hit_rate']:.0%})"
+        )
+    workers = worker_cache_stats()
+    if any(any(counters.values()) for counters in workers.values()):
+        lines.append("worker pools (stage: hits/misses):")
+        for name, counters in workers.items():
+            lines.append(f"  {name:<10} {counters['hits']}/{counters['misses']}")
+    return "\n".join(lines)
 
 
 def main(argv=None) -> int:
@@ -67,11 +94,16 @@ def main(argv=None) -> int:
             scale = args.pop(0)
         elif arg == "--json":
             out_path = args.pop(0)
+        elif arg == "--workers":
+            os.environ[WORKERS_ENV] = args.pop(0)
         else:
             names = (names or []) + [arg]
     results = run_all(scale=scale, names=names)
     if out_path:
-        serialisable = json.loads(json.dumps(results, default=str))
+        payload = dict(results)
+        payload["_compile_cache"] = compile_cache_stats()
+        payload["_worker_compile_cache"] = worker_cache_stats()
+        serialisable = json.loads(json.dumps(payload, default=str))
         with open(out_path, "w") as handle:
             json.dump(serialisable, handle, indent=2)
     return 0

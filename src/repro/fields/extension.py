@@ -12,7 +12,6 @@ from __future__ import annotations
 import random
 
 from repro.errors import FieldError
-from repro.fields.fp import PrimeField
 from repro.fields.variants import (
     ConcreteStepOps,
     get_variant,

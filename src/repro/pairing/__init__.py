@@ -1,11 +1,16 @@
-"""Optimal Ate pairing: Miller loop, final exponentiation, reference implementation."""
+"""Optimal Ate pairing: Miller loop, final exponentiation, reference implementation,
+and the batched multi-pairing used by pairing-product verifiers."""
 
 from repro.pairing.ate import optimal_ate_pairing
+from repro.pairing.batch import G2Precomputation, multi_pairing, precompute_g2
 from repro.pairing.context import ConcretePairingContext, PairingContext
 from repro.pairing.exponent import FinalExpPlan, solve_final_exp_plan
 
 __all__ = [
     "optimal_ate_pairing",
+    "multi_pairing",
+    "precompute_g2",
+    "G2Precomputation",
     "PairingContext",
     "ConcretePairingContext",
     "FinalExpPlan",

@@ -9,13 +9,31 @@ from repro.pairing.miller import miller_loop
 from repro.pairing.reference import reference_pairing
 
 
-def _as_affine_pair(point):
-    """Accept either an (x, y) tuple or an AffinePoint-like object."""
-    if isinstance(point, tuple):
-        return point
+def as_affine_pair(point, role: str = "point"):
+    """Accept an (x, y) tuple or an AffinePoint-like object; ``None`` = infinity.
+
+    Malformed tuples (wrong arity, non-field entries) raise :class:`PairingError`
+    here instead of failing with an opaque ``ValueError`` deep inside the Miller
+    loop.
+    """
+    if isinstance(point, (tuple, list)):
+        if len(point) != 2:
+            raise PairingError(
+                f"{role} must be a pair of affine coordinates, got {len(point)} entries"
+            )
+        x, y = point
+        if not (hasattr(x, "field") and hasattr(y, "field")):
+            raise PairingError(f"{role} coordinates must be field elements")
+        return (x, y)
     if getattr(point, "is_infinity", None) is not None and point.is_infinity():
         return None
+    if not (hasattr(point, "x") and hasattr(point, "y")):
+        raise PairingError(f"{role} must be an affine point or an (x, y) tuple")
     return (point.x, point.y)
+
+
+# Backwards-compatible private alias (pre-1.1 internal name).
+_as_affine_pair = as_affine_pair
 
 
 def optimal_ate_pairing(curve, P, Q, mode: str = "optimized", use_naf: bool = True):
@@ -37,8 +55,8 @@ def optimal_ate_pairing(curve, P, Q, mode: str = "optimized", use_naf: bool = Tr
     use_naf:
         Use the NAF form of the loop scalar (optimised mode only).
     """
-    P_affine = _as_affine_pair(P)
-    Q_affine = _as_affine_pair(Q)
+    P_affine = as_affine_pair(P, role="P (G1 point)")
+    Q_affine = as_affine_pair(Q, role="Q (G2 point)")
     if P_affine is None or Q_affine is None:
         return curve.tower.full_field.one()
 

@@ -1,0 +1,257 @@
+"""Batched multi-pairing: shared Miller accumulator + one final exponentiation.
+
+A pairing product Pi e(P_i, Q_i) -- the shape of every pairing-based verifier,
+e.g. the Groth16 check ``e(A, B) = e(alpha, beta) * e(C, delta)`` -- does not
+need n independent pairings.  Because every Miller function follows the same
+doubling schedule (it is fixed by the curve's loop scalar), the accumulators
+can be fused:
+
+    F <- F^2 * Pi_i line_i        (one F_p^k squaring per loop iteration,
+                                   shared by all n pairs)
+
+and the final exponentiation, the single most expensive part of a pairing, is
+applied once to the fused accumulator instead of once per pair.
+
+Knobs
+-----
+``pairs``
+    A sequence of ``(P, Q)`` with ``P`` in G1 and ``Q`` in G2; each element is
+    an AffinePoint or an ``(x, y)`` tuple.  Pairs with either point at infinity
+    contribute the identity and are skipped.  ``Q`` may also be a
+    :class:`G2Precomputation` (see below).
+``use_naf``
+    Digit representation of the loop scalar, as in ``optimal_ate_pairing``.
+
+Fixed-Q precomputation
+----------------------
+Verification workloads pair many fresh G1 points against a *fixed* G2 point
+(verifying keys, generators).  :func:`precompute_g2` walks the Miller loop once
+for such a Q and stores the P-independent line coefficients
+(:func:`repro.pairing.lines.double_step_coeffs`); evaluating against a new P
+then costs two coefficient scalings per step instead of a full curve step.
+Precomputations plug directly into :func:`multi_pairing` in place of Q and can
+be mixed freely with plain points in one product.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PairingError
+from repro.pairing.ate import as_affine_pair
+from repro.pairing.context import ConcretePairingContext
+from repro.pairing.final_exp import final_exponentiation
+from repro.pairing.lines import (
+    add_step_coeffs,
+    double_step_coeffs,
+    jacobian_from_affine,
+    negate_affine,
+    negate_jacobian,
+    place_line,
+    twist_point_frobenius,
+)
+from repro.pairing.miller import binary_digits, non_adjacent_form
+
+
+def _loop_digits(ctx, use_naf: bool) -> list:
+    """Little-endian digit representation of the absolute loop scalar."""
+    scalar = ctx.loop_scalar
+    if scalar == 0:
+        raise PairingError("degenerate Miller loop scalar")
+    magnitude = abs(scalar)
+    digits = non_adjacent_form(magnitude) if use_naf else binary_digits(magnitude)
+    if digits[-1] != 1:
+        raise PairingError("loop scalar representation must start with digit 1")
+    return digits
+
+
+@dataclass
+class G2Precomputation:
+    """Precomputed line coefficients of one fixed G2 point.
+
+    ``steps`` holds ``(kind, (c_y, c_x, c_const))`` records in Miller-loop
+    order, with ``kind`` in ``{"dbl", "add"}``; the coefficients are twist-field
+    elements independent of P.
+    """
+
+    curve_name: str
+    use_naf: bool
+    steps: list
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+
+# ---------------------------------------------------------------------------
+# Per-pair line sources
+# ---------------------------------------------------------------------------
+
+class _LiveSource:
+    """Walks the Miller loop for one (P, Q) pair, producing placed lines."""
+
+    def __init__(self, ctx, P, Q):
+        self._ctx = ctx
+        self._xp, self._yp = P
+        self._q = Q
+        self._neg_q = negate_affine(Q)
+        self._t = jacobian_from_affine(Q)
+
+    def _emit(self, kind, coeffs):
+        c_y, c_x, c_const = coeffs
+        return self._ctx.full_from_w_coeffs(
+            place_line(self._ctx.twist_type, kind, c_y * self._yp, c_x * self._xp, c_const)
+        )
+
+    def double(self):
+        self._t, coeffs = double_step_coeffs(self._t)
+        return self._emit("dbl", coeffs)
+
+    def add(self, digit: int):
+        addend = self._q if digit == 1 else self._neg_q
+        self._t, coeffs = add_step_coeffs(self._t, addend)
+        return self._emit("add", coeffs)
+
+    def negate(self):
+        self._t = negate_jacobian(self._t)
+
+    def frobenius_add(self, n: int):
+        q_n = twist_point_frobenius(self._ctx, self._q, n)
+        if n == 2:
+            q_n = negate_affine(q_n)
+        self._t, coeffs = add_step_coeffs(self._t, q_n)
+        return self._emit("add", coeffs)
+
+
+class _PrecomputedSource:
+    """Replays a :class:`G2Precomputation` against one G1 point."""
+
+    def __init__(self, ctx, precomp: G2Precomputation, P):
+        self._ctx = ctx
+        self._xp, self._yp = P
+        self._steps = precomp.steps
+        self._cursor = 0
+
+    def _emit(self, expected_kind):
+        if self._cursor >= len(self._steps):
+            raise PairingError("precomputation exhausted (wrong loop schedule)")
+        kind, (c_y, c_x, c_const) = self._steps[self._cursor]
+        if kind != expected_kind:
+            raise PairingError("precomputation out of step with the Miller loop")
+        self._cursor += 1
+        return self._ctx.full_from_w_coeffs(
+            place_line(self._ctx.twist_type, kind, c_y * self._yp, c_x * self._xp, c_const)
+        )
+
+    def double(self):
+        return self._emit("dbl")
+
+    def add(self, digit: int):
+        return self._emit("add")
+
+    def negate(self):
+        pass  # the point trajectory was negated during precomputation
+
+    def frobenius_add(self, n: int):
+        return self._emit("add")
+
+
+# ---------------------------------------------------------------------------
+# Precomputation
+# ---------------------------------------------------------------------------
+
+def precompute_g2(curve, Q, use_naf: bool = True) -> G2Precomputation:
+    """Precompute the P-independent Miller-loop line coefficients of ``Q``."""
+    ctx = ConcretePairingContext(curve)
+    q_affine = as_affine_pair(Q, role="Q (G2 point)")
+    if q_affine is None:
+        raise PairingError("cannot precompute the point at infinity")
+    digits = _loop_digits(ctx, use_naf)
+
+    neg_q = negate_affine(q_affine)
+    T = jacobian_from_affine(q_affine)
+    steps = []
+    for digit in reversed(digits[:-1]):
+        T, coeffs = double_step_coeffs(T)
+        steps.append(("dbl", coeffs))
+        if digit:
+            T, coeffs = add_step_coeffs(T, q_affine if digit == 1 else neg_q)
+            steps.append(("add", coeffs))
+    if ctx.loop_scalar < 0:
+        T = negate_jacobian(T)
+    if ctx.family == "BN":
+        q1 = twist_point_frobenius(ctx, q_affine, 1)
+        q2 = negate_affine(twist_point_frobenius(ctx, q_affine, 2))
+        for q_n in (q1, q2):
+            T, coeffs = add_step_coeffs(T, q_n)
+            steps.append(("add", coeffs))
+    return G2Precomputation(curve_name=curve.name, use_naf=use_naf, steps=steps)
+
+
+# ---------------------------------------------------------------------------
+# The batched pairing
+# ---------------------------------------------------------------------------
+
+def _make_sources(ctx, curve, pairs, use_naf: bool) -> list:
+    sources = []
+    for index, pair in enumerate(pairs):
+        if not isinstance(pair, (tuple, list)) or len(pair) != 2:
+            raise PairingError(f"pairs[{index}] must be a (P, Q) pair")
+        P, Q = pair
+        p_affine = as_affine_pair(P, role=f"pairs[{index}].P (G1 point)")
+        if isinstance(Q, G2Precomputation):
+            if Q.curve_name != curve.name:
+                raise PairingError(
+                    f"pairs[{index}]: precomputation is for curve {Q.curve_name!r}, "
+                    f"not {curve.name!r}"
+                )
+            if Q.use_naf != use_naf:
+                raise PairingError(
+                    f"pairs[{index}]: precomputation digit form (use_naf={Q.use_naf}) "
+                    "does not match this call"
+                )
+            if p_affine is None:
+                continue
+            sources.append(_PrecomputedSource(ctx, Q, p_affine))
+            continue
+        q_affine = as_affine_pair(Q, role=f"pairs[{index}].Q (G2 point)")
+        if p_affine is None or q_affine is None:
+            continue
+        sources.append(_LiveSource(ctx, p_affine, q_affine))
+    return sources
+
+
+def multi_pairing(curve, pairs, use_naf: bool = True):
+    """Compute the pairing product ``Pi e(P_i, Q_i)`` with one shared pipeline.
+
+    Equivalent to the product of :func:`repro.pairing.ate.optimal_ate_pairing`
+    over ``pairs``, but with one accumulator squaring per loop iteration and a
+    single final exponentiation.  ``Q_i`` entries may be
+    :class:`G2Precomputation` objects from :func:`precompute_g2`.
+    """
+    ctx = ConcretePairingContext(curve)
+    digits = _loop_digits(ctx, use_naf)
+    sources = _make_sources(ctx, curve, pairs, use_naf)
+    if not sources:
+        return curve.tower.full_field.one()
+
+    f = ctx.full_one()
+    for digit in reversed(digits[:-1]):
+        f = f.square()
+        for source in sources:
+            f = f * source.double()
+        if digit:
+            for source in sources:
+                f = f * source.add(digit)
+
+    if ctx.loop_scalar < 0:
+        # Pi conj(f_i) = conj(Pi f_i): one shared conjugation.
+        f = f.conjugate()
+        for source in sources:
+            source.negate()
+
+    if ctx.family == "BN":
+        for n in (1, 2):
+            for source in sources:
+                f = f * source.frobenius_add(n)
+
+    return final_exponentiation(ctx, f)

@@ -1,0 +1,161 @@
+"""Batched multi-pairing: product agreement, precomputation, input validation."""
+
+import random
+
+import pytest
+
+from repro.errors import PairingError
+from repro.pairing.ate import optimal_ate_pairing
+from repro.pairing.batch import G2Precomputation, multi_pairing, precompute_g2
+
+
+def _random_pairs(curve, count, seed):
+    rng = random.Random(seed)
+    return [(curve.random_g1(rng), curve.random_g2(rng)) for _ in range(count)]
+
+
+def _pairing_product(curve, pairs):
+    product = curve.gt_one()
+    for P, Q in pairs:
+        product = product * optimal_ate_pairing(curve, P, Q)
+    return product
+
+
+# ---------------------------------------------------------------------------
+# Agreement with individual pairings (two catalog curve families + BLS24)
+# ---------------------------------------------------------------------------
+
+def test_multi_pairing_matches_product_bn(toy_bn):
+    pairs = _random_pairs(toy_bn, 3, seed=101)
+    assert multi_pairing(toy_bn, pairs) == _pairing_product(toy_bn, pairs)
+
+
+def test_multi_pairing_matches_product_bls12(toy_bls12):
+    pairs = _random_pairs(toy_bls12, 3, seed=103)
+    assert multi_pairing(toy_bls12, pairs) == _pairing_product(toy_bls12, pairs)
+
+
+def test_multi_pairing_matches_product_bls24(toy_bls24):
+    pairs = _random_pairs(toy_bls24, 2, seed=107)
+    assert multi_pairing(toy_bls24, pairs) == _pairing_product(toy_bls24, pairs)
+
+
+def test_multi_pairing_single_pair_equals_pairing(toy_curve):
+    pairs = _random_pairs(toy_curve, 1, seed=109)
+    assert multi_pairing(toy_curve, pairs) == optimal_ate_pairing(toy_curve, *pairs[0])
+
+
+def test_multi_pairing_binary_digits_agree(toy_bn):
+    pairs = _random_pairs(toy_bn, 2, seed=113)
+    expected = _pairing_product(toy_bn, pairs)
+    assert multi_pairing(toy_bn, pairs, use_naf=False) == expected
+
+
+def test_multi_pairing_accepts_coordinate_tuples(toy_bn):
+    (P, Q), = _random_pairs(toy_bn, 1, seed=127)
+    assert multi_pairing(toy_bn, [((P.x, P.y), (Q.x, Q.y))]) == optimal_ate_pairing(
+        toy_bn, P, Q
+    )
+
+
+def test_groth16_product_shape(toy_bn):
+    """The verifier shape: e(A, B) = e(alpha, beta) * e(C, delta)."""
+    curve = toy_bn
+    rng = random.Random(131)
+    g1, g2, r = curve.g1_generator, curve.g2_generator, curve.r
+    alpha, beta, delta, c = (rng.randrange(2, r) for _ in range(4))
+    a = rng.randrange(2, r)
+    b = ((alpha * beta + c * delta) * pow(a, -1, r)) % r
+    lhs = optimal_ate_pairing(curve, g1.scalar_mul(a), g2.scalar_mul(b))
+    rhs = multi_pairing(curve, [
+        (g1.scalar_mul(alpha), g2.scalar_mul(beta)),
+        (g1.scalar_mul(c), g2.scalar_mul(delta)),
+    ])
+    assert lhs == rhs
+    # Single-product form: moving e(A, B) to the other side via -A.
+    assert multi_pairing(curve, [
+        (-g1.scalar_mul(a), g2.scalar_mul(b)),
+        (g1.scalar_mul(alpha), g2.scalar_mul(beta)),
+        (g1.scalar_mul(c), g2.scalar_mul(delta)),
+    ]).is_one()
+
+
+# ---------------------------------------------------------------------------
+# Fixed-Q precomputation
+# ---------------------------------------------------------------------------
+
+def test_precomputed_q_agrees_with_live(toy_curve):
+    pairs = _random_pairs(toy_curve, 2, seed=137)
+    expected = _pairing_product(toy_curve, pairs)
+    pre = precompute_g2(toy_curve, pairs[0][1])
+    assert isinstance(pre, G2Precomputation) and len(pre) > 0
+    mixed = multi_pairing(toy_curve, [(pairs[0][0], pre), pairs[1]])
+    assert mixed == expected
+
+
+def test_precomputation_reusable_across_g1_points(toy_bn):
+    rng = random.Random(139)
+    Q = toy_bn.random_g2(rng)
+    pre = precompute_g2(toy_bn, Q)
+    for _ in range(3):
+        P = toy_bn.random_g1(rng)
+        assert multi_pairing(toy_bn, [(P, pre)]) == optimal_ate_pairing(toy_bn, P, Q)
+
+
+def test_precomputation_validates_curve_and_digit_form(toy_bn, toy_bls12):
+    rng = random.Random(149)
+    pre = precompute_g2(toy_bn, toy_bn.random_g2(rng))
+    P12 = toy_bls12.random_g1(rng)
+    with pytest.raises(PairingError):
+        multi_pairing(toy_bls12, [(P12, pre)])
+    P = toy_bn.random_g1(rng)
+    with pytest.raises(PairingError):
+        multi_pairing(toy_bn, [(P, pre)], use_naf=False)
+    with pytest.raises(PairingError):
+        precompute_g2(toy_bn, toy_bn.twist_curve.infinity())
+
+
+# ---------------------------------------------------------------------------
+# Degenerate inputs and validation
+# ---------------------------------------------------------------------------
+
+def test_empty_and_infinity_products_are_one(toy_bn, rng):
+    P = toy_bn.random_g1(rng)
+    Q = toy_bn.random_g2(rng)
+    assert multi_pairing(toy_bn, []).is_one()
+    assert multi_pairing(toy_bn, [(toy_bn.curve.infinity(), Q)]).is_one()
+    assert multi_pairing(toy_bn, [(P, toy_bn.twist_curve.infinity())]).is_one()
+    # A skipped pair leaves the remaining product intact.
+    expected = optimal_ate_pairing(toy_bn, P, Q)
+    assert multi_pairing(toy_bn, [(P, Q), (toy_bn.curve.infinity(), Q)]) == expected
+
+
+def test_multi_pairing_rejects_malformed_pairs(toy_bn, rng):
+    P = toy_bn.random_g1(rng)
+    Q = toy_bn.random_g2(rng)
+    with pytest.raises(PairingError):
+        multi_pairing(toy_bn, [(P,)])
+    with pytest.raises(PairingError):
+        multi_pairing(toy_bn, [(P, Q, P)])
+    with pytest.raises(PairingError):
+        multi_pairing(toy_bn, [((P.x,), Q)])
+    with pytest.raises(PairingError):
+        multi_pairing(toy_bn, [(P, (Q.x, Q.y, Q.x))])
+    with pytest.raises(PairingError):
+        multi_pairing(toy_bn, [(P, "not a point")])
+
+
+def test_optimal_ate_pairing_rejects_malformed_tuples(toy_bn, rng):
+    """The satellite fix: arity errors surface as PairingError, not deep failures."""
+    P = toy_bn.random_g1(rng)
+    Q = toy_bn.random_g2(rng)
+    with pytest.raises(PairingError):
+        optimal_ate_pairing(toy_bn, (P.x,), Q)
+    with pytest.raises(PairingError):
+        optimal_ate_pairing(toy_bn, (P.x, P.y, P.x), Q)
+    with pytest.raises(PairingError):
+        optimal_ate_pairing(toy_bn, P, (Q.x, Q.y, Q.x))
+    with pytest.raises(PairingError):
+        optimal_ate_pairing(toy_bn, (1, 2), Q)
+    with pytest.raises(PairingError):
+        optimal_ate_pairing(toy_bn, object(), Q)

@@ -1,7 +1,5 @@
 """IROpt passes: folding, strength reduction, GVN, DCE -- and semantics preservation."""
 
-import pytest
-
 from repro.compiler.opt import (
     constant_folding,
     dead_code_elimination,

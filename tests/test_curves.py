@@ -1,7 +1,5 @@
 """Curve families, parameter search, point arithmetic, catalog construction."""
 
-import random
-
 import pytest
 
 from repro.curves.catalog import CURVE_SPECS, PAPER_CURVES, get_curve, list_curves
@@ -16,12 +14,10 @@ from repro.curves.formulas import (
     projective_double,
     projective_to_affine,
 )
-from repro.curves.model import EllipticCurve
 from repro.curves.orders import cm_y, curve_order, frobenius_trace, sextic_twist_orders
 from repro.curves.search import find_seed
 from repro.curves.security import estimate_security_bits
 from repro.errors import CurveError
-from repro.fields.fp import PrimeField
 
 
 # ---------------------------------------------------------------------------

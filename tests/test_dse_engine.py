@@ -1,0 +1,132 @@
+"""Parallel exploration engine: determinism, cache reuse, worker sharding."""
+
+import pytest
+
+from repro.compiler.pipeline import clear_caches, compile_cache_stats
+from repro.dse.codesign import alu_family_codesign
+from repro.dse.engine import ParallelExplorer, default_workers, worker_cache_stats
+from repro.dse.explorer import (
+    DesignSpaceExplorer,
+    evaluate_design_point,
+    resolve_objective,
+)
+from repro.dse.space import design_points, named_variant_configs
+from repro.errors import DSEError
+from repro.hw.presets import figure10_models
+
+
+@pytest.fixture(scope="module")
+def toy_points(toy_bn):
+    configs = list(named_variant_configs().values())
+    hw_models = figure10_models(toy_bn.params.p.bit_length())[:2]
+    return design_points(configs, hw_models)
+
+
+# ---------------------------------------------------------------------------
+# Sequential parity (the workers=1 contract)
+# ---------------------------------------------------------------------------
+
+def test_workers1_reproduces_sequential_exactly(toy_bn, toy_points):
+    """ParallelExplorer(workers=1) is bit-identical to the in-order loop."""
+    reference = [evaluate_design_point(toy_bn, point) for point in toy_points]
+    score = resolve_objective("throughput")
+    reference_ranked = sorted(reference, key=score, reverse=True)
+
+    engine = ParallelExplorer(toy_bn, workers=1)
+    ranked = engine.explore(toy_points, objective="throughput")
+    assert ranked == reference_ranked
+    assert engine.evaluated == reference
+    assert engine.last_report is not None
+    assert engine.last_report.parallel is False
+    assert engine.last_report.points == len(toy_points)
+
+    legacy = DesignSpaceExplorer(toy_bn)
+    assert legacy.explore(toy_points, objective="throughput") == reference_ranked
+    assert legacy.evaluated == reference
+
+
+def test_second_sweep_performs_zero_recompilations(toy_bn, toy_points):
+    """A cached re-sweep over the same design points never recompiles."""
+    clear_caches()
+    engine = ParallelExplorer(toy_bn, workers=1)
+    first = engine.explore(toy_points, objective="efficiency")
+    misses_after_first = compile_cache_stats()["result"]["misses"]
+    assert misses_after_first == len(toy_points)
+    assert engine.last_report.cache_stats["result"]["misses"] == len(toy_points)
+
+    second = engine.explore(toy_points, objective="efficiency")
+    stats = compile_cache_stats()["result"]
+    assert second == first
+    assert stats["misses"] == misses_after_first          # zero recompilations
+    assert stats["hits"] >= len(toy_points)
+    # The per-sweep report confirms: every point served from cache, none compiled.
+    assert engine.last_report.cache_stats["result"]["misses"] == 0
+    assert engine.last_report.cache_stats["result"]["hits"] == len(toy_points)
+
+
+def test_objective_handling_matches_legacy(toy_bn, toy_points):
+    engine = ParallelExplorer(toy_bn, workers=1)
+    with pytest.raises(DSEError):
+        engine.explore(toy_points, objective="nonsense")
+    with pytest.raises(DSEError):
+        engine.best([], objective="throughput")
+    by_callable = engine.explore(toy_points, objective=lambda m: -m.cycles)
+    assert by_callable[0].cycles == min(m.cycles for m in engine.evaluated)
+    assert engine.last_report.objective in ("<lambda>", "custom")
+
+
+# ---------------------------------------------------------------------------
+# Parallel sharding
+# ---------------------------------------------------------------------------
+
+def test_parallel_workers_agree_with_sequential(toy_bn, toy_points):
+    sequential = ParallelExplorer(toy_bn, workers=1).explore(toy_points)
+    with ParallelExplorer(toy_bn, workers=2, chunk_size=2) as parallel:
+        ranked = parallel.explore(toy_points)
+        # Deterministic merge: identical metrics and identical ranking regardless
+        # of worker count (the engine falls back to sequential where pools are
+        # denied, which trivially preserves the contract).
+        assert ranked == sequential
+        assert parallel.evaluated == [
+            evaluate_design_point(toy_bn, point) for point in toy_points
+        ]
+        if parallel.last_report.parallel:
+            assert parallel.last_report.chunks == len(toy_points) // 2
+            # Worker compile activity is tracked in the process-lifetime totals.
+            totals = worker_cache_stats()["result"]
+            assert totals["hits"] + totals["misses"] >= len(toy_points)
+
+
+def test_chunking_is_deterministic_and_exhaustive(toy_bn, toy_points):
+    engine = ParallelExplorer(toy_bn, workers=3, chunk_size=2)
+    chunks = engine._chunks(toy_points)
+    flattened = [index for chunk in chunks for index, _ in chunk]
+    assert flattened == list(range(len(toy_points)))
+    assert all(len(chunk) <= 2 for chunk in chunks)
+    # Default chunking balances across workers without dropping points.
+    auto = ParallelExplorer(toy_bn, workers=2)._chunks(toy_points)
+    assert [i for chunk in auto for i, _ in chunk] == list(range(len(toy_points)))
+
+
+def test_default_workers_env(monkeypatch):
+    monkeypatch.delenv("FINESSE_DSE_WORKERS", raising=False)
+    assert default_workers() == 1
+    monkeypatch.setenv("FINESSE_DSE_WORKERS", "4")
+    assert default_workers() == 4
+    monkeypatch.setenv("FINESSE_DSE_WORKERS", "bogus")
+    assert default_workers() == 1
+    monkeypatch.setenv("FINESSE_DSE_WORKERS", "0")
+    assert default_workers() == 1
+
+
+# ---------------------------------------------------------------------------
+# Codesign through the engine
+# ---------------------------------------------------------------------------
+
+def test_codesign_routes_through_engine(toy_bn):
+    records = alu_family_codesign(toy_bn, long_latencies=(14, 26, 38), workers=1)
+    assert [record.long_latency for record in records] == [14, 26, 38]
+    assert all(record.cycles > 0 and 0 < record.ipc <= 1.0 for record in records)
+    # The engine path must agree with a direct re-evaluation.
+    again = alu_family_codesign(toy_bn, long_latencies=(14, 26, 38), workers=1)
+    assert again == records

@@ -4,7 +4,6 @@ import pytest
 
 from repro.hw.area import estimate_area
 from repro.hw.memory import estimate_data_memory, estimate_instruction_memory
-from repro.hw.model import HardwareModel
 from repro.hw.multiplier import estimate_multiplier, karatsuba_multiplier_count, schoolbook_multiplier_count
 from repro.hw.presets import default_model
 from repro.hw.technology import TECH_40NM, TECH_65NM, get_node

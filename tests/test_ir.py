@@ -1,7 +1,5 @@
 """IR container, tracing builder, lowering and interpreters."""
 
-import random
-
 import pytest
 
 from repro.errors import IRError
