@@ -1,0 +1,163 @@
+"""Benchmark regression guard: compare two benchmark result sets.
+
+Usage::
+
+    python benchmarks/compare_bench.py --baseline DIR --current DIR \
+        [--threshold 0.25] [--summary PATH]
+
+Both directories are searched recursively for JSON files.  Two kinds of
+metrics are extracted:
+
+* **Cycle counts** -- every numeric leaf named ``cycles`` (or ``*_cycles``)
+  in the experiment outputs (``benchmarks/results/*.json``).  These come from
+  the deterministic cycle-accurate simulator, so *any* increase is a real
+  modelling/compiler change; increases beyond the threshold **fail** the run.
+* **Wall-clock timings** -- ``stats.mean`` of every entry of pytest-benchmark
+  files (``BENCH_*.json``).  Shared CI runners make these noisy, so they are
+  reported for context but never fail the guard.
+
+A markdown delta table is printed and, when ``--summary`` (or the
+``GITHUB_STEP_SUMMARY`` environment variable) names a file, appended to it so
+the deltas land in the CI job summary.  A missing baseline -- the first run of
+a new repository or an expired artifact -- passes with a note: the guard only
+ever compares against evidence that exists.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+DEFAULT_THRESHOLD = 0.25
+
+
+def _iter_json_files(root: Path):
+    if root.is_file() and root.suffix == ".json":
+        yield root
+        return
+    if root.is_dir():
+        yield from sorted(root.rglob("*.json"))
+
+
+def _walk_numeric_leaves(node, path, out):
+    if isinstance(node, dict):
+        for key, value in sorted(node.items()):
+            _walk_numeric_leaves(value, f"{path}.{key}", out)
+    elif isinstance(node, list):
+        for index, value in enumerate(node):
+            _walk_numeric_leaves(value, f"{path}[{index}]", out)
+    elif isinstance(node, (int, float)) and not isinstance(node, bool):
+        out[path] = float(node)
+
+
+def _is_cycle_key(path: str) -> bool:
+    leaf = path.rsplit(".", 1)[-1]
+    return leaf == "cycles" or leaf.endswith("_cycles")
+
+
+def collect_metrics(root: Path) -> tuple[dict, dict]:
+    """Return ``(cycle_metrics, timing_metrics)`` keyed by ``file:json-path``."""
+    cycles: dict = {}
+    timings: dict = {}
+    for file in _iter_json_files(root):
+        try:
+            payload = json.loads(file.read_text())
+        except (OSError, ValueError):
+            continue
+        label = file.name
+        if isinstance(payload, dict) and "benchmarks" in payload:
+            # pytest-benchmark schema: one timing metric per benchmark entry.
+            for entry in payload.get("benchmarks", []):
+                name = entry.get("fullname") or entry.get("name") or "?"
+                mean = entry.get("stats", {}).get("mean")
+                if isinstance(mean, (int, float)):
+                    timings[f"{label}:{name}"] = float(mean)
+            continue
+        leaves: dict = {}
+        _walk_numeric_leaves(payload, "", leaves)
+        for path, value in leaves.items():
+            if _is_cycle_key(path):
+                cycles[f"{label}:{path.lstrip('.')}"] = value
+    return cycles, timings
+
+
+def compare(baseline: dict, current: dict) -> list:
+    """``(key, old, new, delta)`` for metrics present on both sides."""
+    rows = []
+    for key in sorted(baseline.keys() & current.keys()):
+        old, new = baseline[key], current[key]
+        delta = (new - old) / old if old else (0.0 if new == old else float("inf"))
+        rows.append((key, old, new, delta))
+    return rows
+
+
+def render_table(title: str, rows: list, limit: int = 20) -> str:
+    lines = [f"### {title}", "", "| metric | baseline | current | delta |", "|---|---:|---:|---:|"]
+    shown = sorted(rows, key=lambda r: abs(r[3]), reverse=True)[:limit]
+    for key, old, new, delta in shown:
+        lines.append(f"| `{key}` | {old:g} | {new:g} | {delta:+.1%} |")
+    if len(rows) > limit:
+        lines.append(f"| _... {len(rows) - limit} more within noise_ | | | |")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True, type=Path)
+    parser.add_argument("--current", required=True, type=Path)
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="maximum tolerated relative cycle-count increase")
+    parser.add_argument("--summary", type=Path,
+                        default=os.environ.get("GITHUB_STEP_SUMMARY") or None,
+                        help="markdown file to append the delta tables to")
+    args = parser.parse_args(argv)
+
+    base_cycles, base_timings = collect_metrics(args.baseline)
+    cur_cycles, cur_timings = collect_metrics(args.current)
+
+    report = ["## Benchmark regression guard", ""]
+    if not base_cycles and not base_timings:
+        report.append("No baseline benchmark artifact found -- first run, nothing to compare.")
+        verdict = 0
+    else:
+        cycle_rows = compare(base_cycles, cur_cycles)
+        timing_rows = compare(base_timings, cur_timings)
+        regressions = [r for r in cycle_rows if r[3] > args.threshold]
+        if cycle_rows:
+            report.append(render_table(
+                f"Cycle counts ({len(cycle_rows)} compared, "
+                f"fail over +{args.threshold:.0%})", cycle_rows))
+            report.append("")
+        if timing_rows:
+            report.append(render_table(
+                f"Wall-clock means ({len(timing_rows)} compared, informational)",
+                timing_rows, limit=10))
+            report.append("")
+        if regressions:
+            report.append(f"**FAIL: {len(regressions)} cycle-count regression(s) "
+                          f"beyond +{args.threshold:.0%}.**")
+            verdict = 1
+        else:
+            report.append(f"All {len(cycle_rows)} cycle metrics within "
+                          f"+{args.threshold:.0%} of the baseline.")
+            verdict = 0
+
+    text = "\n".join(report)
+    try:
+        print(text)
+    except BrokenPipeError:            # e.g. piped into `head`
+        pass
+    if args.summary:
+        try:
+            with open(args.summary, "a") as handle:
+                handle.write(text + "\n")
+        except OSError as exc:
+            print(f"(could not append to summary file: {exc})", file=sys.stderr)
+    return verdict
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

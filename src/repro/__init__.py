@@ -19,6 +19,7 @@ from repro.compiler.pipeline import (
     compile_cache_stats,
     compile_pairing,
 )
+from repro.compiler.store import ArtifactStore, active_store, configure_store
 from repro.curves.catalog import get_curve, list_curves
 from repro.fields.variants import VariantConfig
 from repro.hw.model import HardwareModel
@@ -28,7 +29,7 @@ from repro.pairing.batch import multi_pairing, precompute_g2
 from repro.sim.cycle import CycleAccurateSimulator
 from repro.sim.functional import FunctionalSimulator
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "get_curve",
@@ -39,6 +40,9 @@ __all__ = [
     "CompilerPipeline",
     "compile_pairing",
     "compile_cache_stats",
+    "ArtifactStore",
+    "active_store",
+    "configure_store",
     "VariantConfig",
     "HardwareModel",
     "default_model",

@@ -8,8 +8,15 @@ from repro.compiler.cache import CacheStats, CompileCache
 from repro.compiler.pipeline import (
     CompilerPipeline,
     CompileResult,
+    clear_caches,
     compile_cache_stats,
     compile_pairing,
+)
+from repro.compiler.store import (
+    ArtifactStore,
+    StoreStats,
+    active_store,
+    configure_store,
 )
 from repro.compiler.codegen import generate_pairing_ir, TracingPairingContext
 
@@ -18,8 +25,13 @@ __all__ = [
     "CompileResult",
     "CompileCache",
     "CacheStats",
+    "ArtifactStore",
+    "StoreStats",
+    "active_store",
+    "configure_store",
     "compile_pairing",
     "compile_cache_stats",
+    "clear_caches",
     "generate_pairing_ir",
     "TracingPairingContext",
 ]

@@ -93,6 +93,16 @@ class CompileCache:
         return hashlib.sha256(material.encode("utf-8")).hexdigest()
 
     # -- store/lookup ------------------------------------------------------------
+    def peek(self, key):
+        """Return the cached value or ``None`` without touching the counters.
+
+        Used by the two-tier lookup of :func:`repro.compiler.pipeline.compile_pairing`,
+        which must decide between memory, disk and a real compile before it knows
+        which counter the access belongs to.
+        """
+        value = self._entries.get(key, _MISSING)
+        return None if value is _MISSING else value
+
     def lookup(self, key):
         """Return the cached value or ``None``, counting the hit or miss."""
         value = self._entries.get(key, _MISSING)

@@ -16,6 +16,7 @@ from repro.compiler.asm import assemble
 from repro.compiler.bankalloc import allocate_banks
 from repro.compiler.cache import CompileCache
 from repro.compiler.codegen import generate_pairing_ir
+from repro.compiler.store import active_store
 from repro.compiler.opt import OptStats, optimize
 from repro.compiler.regalloc import allocate_registers
 from repro.compiler.schedule import (
@@ -222,25 +223,48 @@ def _cached_optimized(curve, config: VariantConfig, use_naf: bool):
     )
 
 
-def clear_caches() -> None:
-    """Drop every cached compilation artefact (used by memory-sensitive sweeps)."""
+def clear_caches(disk: bool = False) -> None:
+    """Drop every cached compilation artefact (used by memory-sensitive sweeps).
+
+    The active :class:`~repro.compiler.store.ArtifactStore` (if any) has its
+    counters reset as well, so a sweep that calls ``clear_caches()`` starts
+    from clean statistics on every tier.  With ``disk=True`` the store's
+    on-disk entries are deleted too, giving tests and benchmarks a *genuinely*
+    cold path on demand; the default keeps persisted artefacts, which is the
+    whole point of the disk tier.
+    """
     _HL_CACHE.clear()
     _LOW_CACHE.clear()
     _OPT_CACHE.clear()
     _RESULT_CACHE.clear()
+    store = active_store()
+    if store is not None:
+        store.reset_stats()
+        if disk:
+            store.clear()
 
 
 def compile_cache_stats() -> dict:
     """Hit/miss/store counters of every pipeline cache, keyed by stage name.
 
     The ``result`` entry is the one design-space sweeps care about: its miss
-    count is exactly the number of full recompilations performed since the last
-    :func:`clear_caches`.
+    count is exactly the number of full recompilations performed since the
+    last :func:`clear_caches` -- a disk hit repopulates the memory tier
+    without counting as a result miss.  When a disk store is active
+    (``FINESSE_CACHE_DIR`` or :func:`repro.compiler.store.configure_store`),
+    its counters appear under the ``disk`` key.
     """
-    return {
+    stats = {
         cache.name: cache.describe()
         for cache in (_HL_CACHE, _LOW_CACHE, _OPT_CACHE, _RESULT_CACHE)
     }
+    store = active_store()
+    if store is not None:
+        # Counters only: this is snapshotted around every worker chunk, so it
+        # must not walk the store's directory tree (use ``store.describe()``
+        # directly for on-disk usage).
+        stats[store.name] = store.counters()
+    return stats
 
 
 def compile_pairing(
@@ -269,10 +293,21 @@ def compile_pairing(
         include_baseline=include_baseline,
         record_trace=record_trace,
     )
+    store = active_store() if use_cache else None
     if use_cache:
-        cached = _RESULT_CACHE.lookup(key)
+        # Two-tier lookup: memory, then disk, then compile.  The result-cache
+        # miss counter is only bumped when a real compile happens, preserving
+        # the "misses == recompilations" contract for disk-served sweeps.
+        cached = _RESULT_CACHE.peek(key)
         if cached is not None:
+            _RESULT_CACHE.stats.hits += 1
             return cached
+        if store is not None:
+            loaded = store.load(key)
+            if loaded is not None:
+                _RESULT_CACHE.store(key, loaded)
+                return loaded
+        _RESULT_CACHE.stats.misses += 1
     pipeline = CompilerPipeline(
         hw=hw_resolved,
         variant_config=variant_config,
@@ -285,4 +320,6 @@ def compile_pairing(
     result = pipeline.compile(curve, include_baseline=include_baseline)
     if use_cache:
         _RESULT_CACHE.store(key, result)
+        if store is not None:
+            store.store(key, result)
     return result

@@ -1,0 +1,480 @@
+"""Disk-backed, content-addressed artifact store shared across processes.
+
+The in-memory :class:`repro.compiler.cache.CompileCache` makes re-compilation
+free *within* one process; this module extends that to a second tier so that
+worker pools, repeated CLI invocations and CI runs share compile artefacts:
+
+    memory (``CompileCache``)  ->  disk (``ArtifactStore``)  ->  compile
+
+Layout and format
+-----------------
+Entries live under ``<root>/v<SCHEMA_VERSION>-<fingerprint>/<key[:2]>/<key>.art``
+where ``key`` is the same SHA-256 semantic digest produced by
+:meth:`CompileCache.make_key`.  The directory name is a namespace with two
+self-invalidation axes:
+
+* :data:`SCHEMA_VERSION` is bumped by hand whenever the serialised shape of
+  :class:`CompileResult` (or the stage products it carries) changes
+  incompatibly, making stale formats invisible without migration logic;
+* the *fingerprint* is a digest of the ``repro`` package sources
+  (:func:`code_fingerprint`), so artefacts compiled by an older compiler are
+  never served after a code change -- compile keys describe the *input*
+  configuration, and only the fingerprint ties an artefact to the toolchain
+  that produced it.  Without this, a CI cache restored across commits would
+  happily mask real cycle-count changes.
+
+Abandoned namespaces are garbage-collected before live entries whenever the
+store goes over budget.
+
+Each file is a 64-hex-character SHA-256 digest of the payload, a newline, and
+the payload itself: a zlib-compressed pickle of ``{"schema", "key", "value"}``.
+The digest header turns truncation and bit-rot into *misses* (the entry is
+dropped and rewritten) rather than crashes; the embedded key defends against
+renamed or misplaced files.
+
+Concurrency
+-----------
+Writers serialise to a unique temporary file in the destination directory and
+publish it with :func:`os.replace`, which is atomic on POSIX: readers see
+either the old entry, the new entry, or no entry -- never a partial write.
+Two processes racing to store the same key therefore converge on one valid
+entry without any locking, which is what lets every worker of a
+:class:`repro.dse.engine.ParallelExplorer` pool share a single store.
+
+Eviction
+--------
+``max_bytes`` bounds the namespace's footprint.  Hits refresh the entry's
+access time explicitly (``os.utime``; many filesystems mount ``noatime``), and
+when a store pushes the total over budget the least-recently-used entries are
+deleted first.  GC is best-effort and race-tolerant: losing a file underneath
+the scanner is never an error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import os
+import pickle
+import time
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+
+#: Bump on any incompatible change to the pickled artefact shape.
+SCHEMA_VERSION = 1
+
+#: Environment variable activating a process-wide store (used by CI and pools).
+CACHE_DIR_ENV = "FINESSE_CACHE_DIR"
+
+#: Environment variable overriding the default eviction budget.
+MAX_BYTES_ENV = "FINESSE_CACHE_MAX_BYTES"
+
+#: Default eviction budget: 2 GiB holds thousands of toy-curve kernels and
+#: hundreds of full-size ones while staying inside CI cache quotas.
+DEFAULT_MAX_BYTES = 2 * 1024 ** 3
+
+_PICKLE_PROTOCOL = 4                   # stable across CPython 3.10-3.12
+_SUFFIX = ".art"
+_TMP_COUNTER = itertools.count()
+
+#: Orphaned temp files (writer killed mid-publish) older than this are deleted.
+_TMP_GRACE_SECONDS = 3600
+
+_CODE_FINGERPRINT: str | None = None
+
+
+def code_fingerprint() -> str:
+    """SHA-256 over the ``repro`` package sources (memoised per process).
+
+    Part of every store namespace: artefacts persisted by one version of the
+    toolchain are invisible to any other, which keeps disk-served sweeps
+    honest across commits (see the module docstring).
+    """
+    global _CODE_FINGERPRINT
+    if _CODE_FINGERPRINT is None:
+        package_root = Path(__file__).resolve().parents[1]
+        digest = hashlib.sha256()
+        for path in sorted(package_root.rglob("*.py")):
+            digest.update(path.relative_to(package_root).as_posix().encode("utf-8"))
+            digest.update(b"\0")
+            try:
+                digest.update(path.read_bytes())
+            except OSError:
+                continue
+            digest.update(b"\0")
+        _CODE_FINGERPRINT = digest.hexdigest()
+    return _CODE_FINGERPRINT
+
+
+@dataclass
+class StoreStats:
+    """Running counters of one :class:`ArtifactStore`."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    corrupt: int = 0                   # corrupt/truncated entries dropped (also misses)
+    evictions: int = 0
+    errors: int = 0                    # failed writes (serialisation, ENOSPC, ...)
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "corrupt": self.corrupt,
+            "evictions": self.evictions,
+            "errors": self.errors,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.corrupt = 0
+        self.evictions = 0
+        self.errors = 0
+
+
+def _default_max_bytes() -> int:
+    raw = os.environ.get(MAX_BYTES_ENV, "")
+    try:
+        value = int(raw)
+    except ValueError:
+        return DEFAULT_MAX_BYTES
+    return max(1, value) if value > 0 else DEFAULT_MAX_BYTES
+
+
+class ArtifactStore:
+    """Disk tier of the compile cache (see the module docstring for format)."""
+
+    def __init__(self, root, max_bytes: int | None = None, name: str = "disk"):
+        self.name = name
+        self.root = Path(root).expanduser()
+        self.namespace = self.root / f"v{SCHEMA_VERSION}-{code_fingerprint()[:12]}"
+        self.max_bytes = _default_max_bytes() if max_bytes is None else max(1, int(max_bytes))
+        self.stats = StoreStats()
+        # Running estimate of the root's total size, so stores do not pay a
+        # full directory walk each; measured on first use, corrected by gc().
+        self._bytes_estimate: int | None = None
+
+    # -- paths -------------------------------------------------------------------
+    def _path(self, key: str) -> Path:
+        return self.namespace / key[:2] / f"{key}{_SUFFIX}"
+
+    def _iter_entries(self, namespace: Path | None = None):
+        """Yield ``(path, stat)`` for every entry, tolerating concurrent deletion."""
+        namespace = self.namespace if namespace is None else namespace
+        if not namespace.is_dir():
+            return
+        for shard in sorted(namespace.iterdir()):
+            if not shard.is_dir():
+                continue
+            for path in sorted(shard.glob(f"*{_SUFFIX}")):
+                try:
+                    yield path, path.stat()
+                except OSError:
+                    continue
+
+    def _stale_namespaces(self) -> list:
+        """Namespace directories of other schema versions / code fingerprints."""
+        if not self.root.is_dir():
+            return []
+        return [d for d in sorted(self.root.glob("v*"))
+                if d.is_dir() and d != self.namespace]
+
+    # -- serialisation -----------------------------------------------------------
+    @staticmethod
+    def _serialize(key: str, value) -> bytes:
+        payload = zlib.compress(
+            pickle.dumps({"schema": SCHEMA_VERSION, "key": key, "value": value},
+                         protocol=_PICKLE_PROTOCOL)
+        )
+        digest = hashlib.sha256(payload).hexdigest().encode("ascii")
+        return digest + b"\n" + payload
+
+    @staticmethod
+    def _deserialize(key: str, blob: bytes):
+        """Decode one artefact file; raise ``ValueError`` on any inconsistency."""
+        digest, sep, payload = blob.partition(b"\n")
+        if not sep or len(digest) != 64:
+            raise ValueError("malformed artifact header")
+        if hashlib.sha256(payload).hexdigest().encode("ascii") != digest:
+            raise ValueError("artifact payload digest mismatch")
+        record = pickle.loads(zlib.decompress(payload))
+        if not isinstance(record, dict) or record.get("schema") != SCHEMA_VERSION:
+            raise ValueError("artifact schema mismatch")
+        if record.get("key") != key:
+            raise ValueError("artifact key mismatch")
+        return record["value"]
+
+    # -- lookup/store ------------------------------------------------------------
+    def load(self, key: str):
+        """Return the stored value or ``None``; corruption counts as a miss."""
+        path = self._path(key)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            self.stats.misses += 1
+            return None
+        try:
+            value = self._deserialize(key, blob)
+        except Exception:
+            # Truncated write, bit-rot, stale pickle: drop the entry so the
+            # next store rewrites it, and report a miss -- never an error.
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            self._unlink(path)
+            return None
+        self.stats.hits += 1
+        self._touch(path)
+        return value
+
+    def store(self, key: str, value) -> bool:
+        """Atomically persist ``value`` under ``key``; never raises."""
+        path = self._path(key)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.{next(_TMP_COUNTER)}.tmp")
+        try:
+            blob = self._serialize(key, value)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp.write_bytes(blob)
+            os.replace(tmp, path)
+        except Exception:
+            self.stats.errors += 1
+            self._unlink(tmp)
+            return False
+        self.stats.stores += 1
+        # Cheap budget check: one walk on the first store of this instance,
+        # then a running estimate; gc() re-measures and corrects the estimate
+        # (concurrent writers drift it, which only delays eviction slightly).
+        # First use also reclaims namespaces abandoned by other toolchain
+        # versions -- otherwise a persisted CI cache would accumulate one
+        # namespace per source-changing commit until it hit the byte budget.
+        if self._bytes_estimate is None:
+            self._reclaim_stale()
+            self._reclaim_tmp()
+            self._bytes_estimate = self._measure_total()
+        else:
+            self._bytes_estimate += len(blob)
+        if self._bytes_estimate > self.max_bytes:
+            self.gc()
+        return True
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).is_file()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._iter_entries())
+
+    def total_bytes(self) -> int:
+        return sum(stat.st_size for _, stat in self._iter_entries())
+
+    def _measure_total(self) -> int:
+        """Actual bytes across the whole root (live plus stale namespaces)."""
+        return sum(
+            stat.st_size
+            for namespace in [self.namespace] + self._stale_namespaces()
+            for _, stat in self._iter_entries(namespace)
+        )
+
+    # -- maintenance -------------------------------------------------------------
+    def gc(self, max_bytes: int | None = None) -> int:
+        """Evict entries until the whole root fits the budget.
+
+        Artefacts in abandoned namespaces (older schema versions or code
+        fingerprints) are reclaimed first; live entries then go in
+        least-recently-used order.
+        """
+        budget = self.max_bytes if max_bytes is None else max(1, int(max_bytes))
+        self._reclaim_tmp()
+
+        def recency(item):
+            path, stat = item
+            return (max(stat.st_atime, stat.st_mtime), path.name)
+
+        stale = [entry for namespace in self._stale_namespaces()
+                 for entry in self._iter_entries(namespace)]
+        live = list(self._iter_entries())
+        total = sum(stat.st_size for _, stat in stale + live)
+        if total <= budget:
+            self._bytes_estimate = total
+            return 0
+        evicted = 0
+        # Oldest access first; fall back to mtime where atime is frozen.
+        stale.sort(key=recency)
+        live.sort(key=recency)
+        for path, stat in stale + live:
+            if total <= budget:
+                break
+            if self._unlink(path):
+                total -= stat.st_size
+                evicted += 1
+        for namespace in self._stale_namespaces():
+            self._prune_dir(namespace)
+        self.stats.evictions += evicted
+        self._bytes_estimate = total
+        return evicted
+
+    def _reclaim_stale(self) -> int:
+        """Delete artefacts left behind by other schema versions / toolchains."""
+        removed = 0
+        for namespace in self._stale_namespaces():
+            for path, _ in list(self._iter_entries(namespace)):
+                if self._unlink(path):
+                    removed += 1
+            self._prune_dir(namespace)
+        self.stats.evictions += removed
+        return removed
+
+    def _reclaim_tmp(self, max_age_seconds: float = _TMP_GRACE_SECONDS) -> int:
+        """Delete orphaned temp files (a writer died between write and rename).
+
+        Temp names start with a dot, so ``_iter_entries`` and the byte
+        accounting never see them; this sweep (run on an instance's first
+        store and on every gc) is their only reclamation path -- without it
+        they would accumulate forever in persisted CI caches.  Fresh temp
+        files are left alone: they may belong to a live concurrent writer.
+        """
+        cutoff = time.time() - max_age_seconds
+        removed = 0
+        for namespace in [self.namespace] + self._stale_namespaces():
+            if not namespace.is_dir():
+                continue
+            for path in namespace.rglob(".*.tmp"):
+                try:
+                    if path.stat().st_mtime <= cutoff:
+                        path.unlink()
+                        removed += 1
+                except OSError:
+                    continue
+        return removed
+
+    def clear(self) -> int:
+        """Delete every entry in this schema namespace (counters are kept)."""
+        removed = 0
+        for path, _ in list(self._iter_entries()):
+            if self._unlink(path):
+                removed += 1
+        self._reclaim_tmp(max_age_seconds=0)
+        self._bytes_estimate = None
+        return removed
+
+    def reset_stats(self) -> None:
+        self.stats.reset()
+
+    def counters(self) -> dict:
+        """Counter-only snapshot: no filesystem access.
+
+        This is what :func:`repro.compiler.pipeline.compile_cache_stats`
+        publishes -- it is snapshotted around every worker chunk, so it must
+        stay O(1); :meth:`describe` adds the on-disk usage (two directory
+        walks) for end-of-run reports.
+        """
+        summary = self.stats.snapshot()
+        summary["name"] = self.name
+        return summary
+
+    def describe(self) -> dict:
+        summary = self.stats.snapshot()
+        summary["name"] = self.name
+        summary["entries"] = len(self)
+        summary["bytes"] = self.total_bytes()
+        summary["root"] = str(self.root)
+        summary["schema"] = SCHEMA_VERSION
+        summary["namespace"] = self.namespace.name
+        summary["max_bytes"] = self.max_bytes
+        return summary
+
+    # -- internals ---------------------------------------------------------------
+    @staticmethod
+    def _prune_dir(namespace: Path) -> None:
+        """Remove a namespace directory tree if (and only if) it is empty."""
+        for shard in sorted(namespace.glob("*"), reverse=True):
+            try:
+                shard.rmdir()
+            except OSError:
+                pass
+        try:
+            namespace.rmdir()
+        except OSError:
+            pass
+
+    @staticmethod
+    def _unlink(path: Path) -> bool:
+        try:
+            path.unlink()
+            return True
+        except OSError:
+            return False
+
+    @staticmethod
+    def _touch(path: Path) -> None:
+        try:
+            os.utime(path)
+        except OSError:
+            pass
+
+
+# ---------------------------------------------------------------------------
+# Process-wide active store
+# ---------------------------------------------------------------------------
+
+_UNSET = object()
+#: Explicit configuration (``configure_store``); ``_UNSET`` means "follow the env".
+_EXPLICIT = _UNSET
+#: Stores resolved from the environment, memoised per absolute path so that
+#: counters survive repeated ``active_store()`` calls.
+_ENV_STORES: dict = {}
+
+
+def configure_store(target, max_bytes: int | None = None) -> ArtifactStore | None:
+    """Pin the process-wide store (``None`` disables the disk tier entirely).
+
+    Passing a path creates an :class:`ArtifactStore` there; passing an existing
+    store adopts it.  Explicit configuration overrides ``FINESSE_CACHE_DIR``
+    until :func:`reset_store_state` is called.
+    """
+    global _EXPLICIT
+    if target is None:
+        _EXPLICIT = None
+        return None
+    store = target if isinstance(target, ArtifactStore) else ArtifactStore(target, max_bytes)
+    _EXPLICIT = store
+    return store
+
+
+def active_store() -> ArtifactStore | None:
+    """The store compilations should use, or ``None`` when the tier is off.
+
+    Resolution order: explicit :func:`configure_store` choice, then the
+    ``FINESSE_CACHE_DIR`` environment variable (memoised per path).  Worker
+    processes inherit the environment, so one exported variable routes a whole
+    :class:`~repro.dse.engine.ParallelExplorer` pool through a shared store.
+    """
+    if _EXPLICIT is not _UNSET:
+        return _EXPLICIT
+    raw = os.environ.get(CACHE_DIR_ENV, "").strip()
+    if not raw:
+        return None
+    path = os.path.abspath(os.path.expanduser(raw))
+    store = _ENV_STORES.get(path)
+    if store is None:
+        store = _ENV_STORES[path] = ArtifactStore(path)
+    return store
+
+
+def reset_store_state() -> None:
+    """Forget explicit configuration and memoised env stores (test isolation)."""
+    global _EXPLICIT
+    _EXPLICIT = _UNSET
+    _ENV_STORES.clear()

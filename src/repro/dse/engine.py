@@ -33,6 +33,20 @@ same design points performs zero recompilations.  After every sweep the engine
 stores that sweep's per-stage cache counters (local delta plus all worker
 deltas) in ``last_report.cache_stats``.
 
+Two mechanisms extend that guarantee across process boundaries:
+
+* **Dedup at dispatch** -- before sharding, points are grouped by their
+  semantic compile identity (variant-config and hardware cache keys), only the
+  first occurrence of each identity is dispatched, and duplicate slots are
+  filled from the representative's metrics (relabelled per point).  A cold
+  ``workers=N`` sweep therefore compiles each *distinct* point exactly once
+  across the whole pool, no matter how chunks land on workers.
+* **Disk tier** -- when ``FINESSE_CACHE_DIR`` is exported (see
+  :mod:`repro.compiler.store`), every worker inherits it and shares one
+  disk-backed artifact store, so sweeps in *fresh* processes (new CLI runs,
+  later CI jobs) are served from disk instead of recompiling; the shared
+  ``disk`` counters surface in ``last_report.cache_stats``.
+
 Worker processes reconstruct the curve from its catalog name (curve objects
 hold deeply nested field towers that are expensive to ship), so multi-process
 exploration is only attempted for catalog curves; anything else, or an
@@ -45,7 +59,7 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.compiler.pipeline import compile_cache_stats
 from repro.curves.catalog import CURVE_SPECS
@@ -76,13 +90,18 @@ class ExplorationReport:
     chunks: int
     objective: str
     parallel: bool
+    #: Semantically distinct design points in the sweep (= dispatched points
+    #: on the parallel path; duplicates are filled from their representative).
+    distinct_points: int = 0
     #: Merged compile-cache statistics (this process plus every worker).
     cache_stats: dict = field(default_factory=dict)
 
     def describe(self) -> dict:
         result_stats = self.cache_stats.get("result", {})
-        return {
+        disk_stats = self.cache_stats.get("disk", {})
+        summary = {
             "points": self.points,
+            "distinct_points": self.distinct_points,
             "workers": self.workers,
             "chunks": self.chunks,
             "objective": self.objective,
@@ -90,6 +109,10 @@ class ExplorationReport:
             "compile_hits": result_stats.get("hits", 0),
             "compile_misses": result_stats.get("misses", 0),
         }
+        if disk_stats:
+            summary["disk_hits"] = disk_stats.get("hits", 0)
+            summary["disk_misses"] = disk_stats.get("misses", 0)
+        return summary
 
 
 _COUNTERS = ("hits", "misses", "stores")
@@ -175,12 +198,38 @@ class ParallelExplorer:
     # -- internals ---------------------------------------------------------------
     def _chunks(self, points) -> list:
         """Split indexed points into contiguous chunks (deterministic)."""
+        return self._chunk_indexed(list(enumerate(points)))
+
+    def _chunk_indexed(self, indexed) -> list:
         if self.chunk_size is not None:
             size = max(1, self.chunk_size)
         else:
-            size = max(1, -(-len(points) // (4 * self.workers)))
-        indexed = list(enumerate(points))
+            size = max(1, -(-len(indexed) // (4 * self.workers)))
         return [indexed[i:i + size] for i in range(0, len(indexed), size)]
+
+    @staticmethod
+    def _dedup_points(points):
+        """Group points by semantic compile identity (first occurrence wins).
+
+        Returns ``(indexed, duplicates)``: the ``(index, point)`` pairs to
+        dispatch, and ``(index, representative_index)`` pairs whose metrics can
+        be derived from an already-dispatched twin.  Identity is the same
+        material the compile cache keys on -- the variant-config and hardware
+        cache keys -- so two points with different display names but identical
+        content still share one compilation.
+        """
+        indexed: list = []
+        duplicates: list = []
+        seen: dict = {}
+        for index, point in enumerate(points):
+            identity = (point.variant_config.cache_key(), point.hw.cache_key())
+            first = seen.get(identity)
+            if first is None:
+                seen[identity] = index
+                indexed.append((index, point))
+            else:
+                duplicates.append((index, first))
+        return indexed, duplicates
 
     def _evaluate_sequential(self, points) -> list:
         return [
@@ -192,13 +241,15 @@ class ParallelExplorer:
     def _evaluate_parallel(self, points):
         """Fan chunks out to a process pool; reassemble in submission order.
 
-        Returns ``(metrics, chunks, merged_worker_stats)`` or ``None`` when the
-        pool cannot be used (non-catalog curve, restricted environment), in
-        which case the caller falls back to the sequential path.
+        Returns ``(metrics, chunks, worker_stats, distinct_count)`` or ``None``
+        when the pool cannot be used (non-catalog curve, restricted
+        environment), in which case the caller falls back to the sequential
+        path.
         """
         if self.curve.name not in CURVE_SPECS or self._pool_unavailable:
             return None
-        chunks = self._chunks(points)
+        indexed, duplicates = self._dedup_points(points)
+        chunks = self._chunk_indexed(indexed)
         slots: list = [None] * len(points)
         worker_stats: list = []
         try:
@@ -222,7 +273,10 @@ class ParallelExplorer:
             self._pool_unavailable = True
             self.close()
             return None
-        return slots, chunks, worker_stats
+        for index, representative in duplicates:
+            slots[index] = replace(slots[representative],
+                                   label=points[index].display_label)
+        return slots, chunks, worker_stats, len(indexed)
 
     @staticmethod
     def _merge_cache_stats(local_delta, worker_stats) -> dict:
@@ -251,8 +305,9 @@ class ParallelExplorer:
         if parallel_result is None:
             self.evaluated = self._evaluate_sequential(points)
             chunks, worker_stats, parallel = [], [], False
+            distinct = len(self._dedup_points(points)[0])
         else:
-            self.evaluated, chunks, worker_stats = parallel_result
+            self.evaluated, chunks, worker_stats, distinct = parallel_result
             parallel = True
             for stats in worker_stats:
                 for name, counters in stats.items():
@@ -262,6 +317,7 @@ class ParallelExplorer:
         local_delta = _stats_delta(compile_cache_stats(), stats_before)
         self.last_report = ExplorationReport(
             points=len(points),
+            distinct_points=distinct,
             workers=self.workers,
             chunks=len(chunks),
             objective=objective if isinstance(objective, str) else getattr(

@@ -84,7 +84,7 @@ def evaluate_design_point(
     area = estimate_area(point.hw, result.imem_bits, result.total_registers,
                          n_cores=n_cores, technology=technology)
     return DesignMetrics(
-        label=point.label or f"{point.variant_config.name}/{point.hw.name}",
+        label=point.display_label,
         curve=curve.name,
         cycles=result.cycles,
         instructions=result.final_instructions,

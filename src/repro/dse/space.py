@@ -17,9 +17,13 @@ class DesignPoint:
     hw: HardwareModel
     label: str = ""
 
+    @property
+    def display_label(self) -> str:
+        return self.label or f"{self.variant_config.name}/{self.hw.name}"
+
     def describe(self) -> dict:
         return {
-            "label": self.label or f"{self.variant_config.name}/{self.hw.name}",
+            "label": self.display_label,
             "variants": self.variant_config.name,
             "hw": self.hw.name,
         }

@@ -4,6 +4,13 @@
 exploration engine (:mod:`repro.dse.engine`) with N worker processes; the
 consolidated JSON report additionally records the compile-cache statistics of
 the run, so sweep-over-sweep reuse is visible in the artifacts.
+
+``--cache-dir PATH`` activates the disk-backed artifact store
+(:mod:`repro.compiler.store`) at PATH -- exported as ``FINESSE_CACHE_DIR`` so
+every DSE worker process shares it -- and a re-run over the same experiments
+in a fresh process is then served from disk with zero recompilations.
+``--no-disk-cache`` disables the disk tier even when the environment variable
+is set (useful for timing genuinely cold compiles).
 """
 
 from __future__ import annotations
@@ -14,6 +21,7 @@ import sys
 import time
 
 from repro.compiler.pipeline import compile_cache_stats
+from repro.compiler.store import CACHE_DIR_ENV, active_store, configure_store
 from repro.dse.engine import WORKERS_ENV, worker_cache_stats
 from repro.evaluation import (
     fig2,
@@ -70,9 +78,18 @@ def render_cache_report() -> str:
     """One-line-per-stage summary of the compile caches after a run."""
     lines = ["compile caches (stage: hits/misses, entries):"]
     for name, stats in compile_cache_stats().items():
+        detail = f"{stats['entries']} entries, " if "entries" in stats else ""
         lines.append(
             f"  {name:<10} {stats['hits']}/{stats['misses']} "
-            f"({stats['entries']} entries, hit rate {stats['hit_rate']:.0%})"
+            f"({detail}hit rate {stats['hit_rate']:.0%})"
+        )
+    store = active_store()
+    if store is not None:
+        described = store.describe()
+        lines.append(
+            f"  disk store: {described['entries']} artefacts, "
+            f"{described['bytes'] / 1024:.0f} KiB under {described['root']} "
+            f"(namespace {described['namespace']})"
         )
     workers = worker_cache_stats()
     if any(any(counters.values()) for counters in workers.values()):
@@ -96,6 +113,16 @@ def main(argv=None) -> int:
             out_path = args.pop(0)
         elif arg == "--workers":
             os.environ[WORKERS_ENV] = args.pop(0)
+        elif arg == "--cache-dir":
+            # Exported so DSE worker processes inherit it, AND configured
+            # explicitly so a preceding --no-disk-cache pin is overridden:
+            # last flag wins in every process of the run.
+            cache_dir = args.pop(0)
+            os.environ[CACHE_DIR_ENV] = cache_dir
+            configure_store(cache_dir)
+        elif arg == "--no-disk-cache":
+            os.environ.pop(CACHE_DIR_ENV, None)
+            configure_store(None)
         else:
             names = (names or []) + [arg]
     results = run_all(scale=scale, names=names)

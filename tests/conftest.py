@@ -26,6 +26,21 @@ from repro.curves.catalog import get_curve  # noqa: E402
 from repro.hw.presets import paper_hw1, paper_hw2  # noqa: E402
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _hermetic_disk_cache():
+    """Keep the suite hermetic w.r.t. the disk-backed compile artifact store.
+
+    CI exports ``FINESSE_CACHE_DIR`` for the warm-path sweeps, but the tests
+    assert *cold*-path behaviour (recompilation counts, cache misses); a warm
+    store leaking in would flip those assertions.  Tests that exercise the
+    store opt in explicitly via ``configure_store``/``monkeypatch``.
+    """
+    from repro.compiler.store import CACHE_DIR_ENV, reset_store_state
+
+    os.environ.pop(CACHE_DIR_ENV, None)
+    reset_store_state()
+
+
 @pytest.fixture(scope="session")
 def rng():
     return random.Random(0xF1E55E)

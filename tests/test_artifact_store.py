@@ -1,0 +1,351 @@
+"""Disk-backed artifact store: round-trips, corruption, concurrency, eviction,
+and the two-tier (memory -> disk -> compile) pipeline integration."""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+import time
+
+import pytest
+
+import repro.compiler.store as store_mod
+from repro.compiler.pipeline import clear_caches, compile_cache_stats, compile_pairing
+from repro.compiler.store import (
+    CACHE_DIR_ENV,
+    ArtifactStore,
+    active_store,
+    configure_store,
+    reset_store_state,
+)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "cache")
+
+
+@pytest.fixture
+def pipeline_store(tmp_path):
+    """Activate a fresh store for the compile pipeline; deactivate afterwards."""
+    store = configure_store(tmp_path / "cache")
+    clear_caches()
+    yield store
+    clear_caches()
+    reset_store_state()
+
+
+KEY_A = "aa" + "0" * 62
+KEY_B = "bb" + "1" * 62
+
+
+# ---------------------------------------------------------------------------
+# Round-trip and counters
+# ---------------------------------------------------------------------------
+
+def test_round_trip_and_counters(store):
+    assert store.load(KEY_A) is None
+    assert store.stats.misses == 1
+    assert store.store(KEY_A, {"value": list(range(100))})
+    assert store.load(KEY_A) == {"value": list(range(100))}
+    assert store.stats.hits == 1 and store.stats.stores == 1
+    assert KEY_A in store and len(store) == 1
+    described = store.describe()
+    assert described["entries"] == 1 and described["bytes"] > 0
+    assert described["schema"] == store_mod.SCHEMA_VERSION
+
+
+def test_round_trip_compile_result(store, toy_bn, hw1_small):
+    result = compile_pairing(toy_bn, hw=hw1_small, use_cache=False)
+    key = "cc" + "2" * 62
+    assert store.store(key, result)
+    loaded = store.load(key)
+    assert loaded is not result
+    assert loaded.cycles == result.cycles
+    assert loaded.describe() == result.describe()
+    assert loaded.schedule.instruction_count == result.schedule.instruction_count
+
+
+def test_entries_are_namespaced_by_schema_version(store, monkeypatch):
+    store.store(KEY_A, "artifact")
+    assert f"v{store_mod.SCHEMA_VERSION}-" in str(store._path(KEY_A))
+    # Bumping the schema version makes old artefacts invisible, not broken.
+    monkeypatch.setattr(store_mod, "SCHEMA_VERSION", store_mod.SCHEMA_VERSION + 1)
+    upgraded = ArtifactStore(store.root)
+    assert upgraded.load(KEY_A) is None
+    assert upgraded.stats.corrupt == 0          # a clean miss, not corruption
+
+
+def test_entries_are_namespaced_by_code_fingerprint(store, monkeypatch):
+    """Artefacts from another toolchain version are never served, and GC
+    reclaims their abandoned namespace before touching live entries."""
+    store.store(KEY_A, "artifact")
+    monkeypatch.setattr(store_mod, "_CODE_FINGERPRINT", "f" * 64)
+    migrated = ArtifactStore(store.root)
+    assert migrated.namespace != store.namespace
+    assert migrated.load(KEY_A) is None         # other-toolchain artefact invisible
+    migrated.store(KEY_A, "new artifact")
+    migrated.gc(max_bytes=migrated.total_bytes() + 1)
+    assert not store.namespace.exists()         # stale namespace reclaimed first
+    assert migrated.load(KEY_A) == "new artifact"
+
+
+# ---------------------------------------------------------------------------
+# Corruption: truncation, bit-rot, misplaced files
+# ---------------------------------------------------------------------------
+
+def test_truncated_entry_is_a_miss_and_gets_rewritten(store):
+    store.store(KEY_A, "artifact")
+    path = store._path(KEY_A)
+    path.write_bytes(path.read_bytes()[:30])
+    assert store.load(KEY_A) is None
+    assert store.stats.corrupt == 1 and store.stats.misses == 1
+    assert not path.exists()                    # dropped so the next store rewrites it
+    assert store.store(KEY_A, "artifact")
+    assert store.load(KEY_A) == "artifact"
+
+
+def test_bitrot_payload_is_a_miss(store):
+    store.store(KEY_A, "artifact")
+    path = store._path(KEY_A)
+    blob = bytearray(path.read_bytes())
+    blob[-1] ^= 0xFF
+    path.write_bytes(bytes(blob))
+    assert store.load(KEY_A) is None
+    assert store.stats.corrupt == 1
+
+
+def test_misplaced_entry_key_mismatch_is_a_miss(store):
+    store.store(KEY_A, "artifact")
+    target = store._path(KEY_B)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    shutil.copyfile(store._path(KEY_A), target)
+    assert store.load(KEY_B) is None            # embedded key defends the rename
+    assert store.stats.corrupt == 1
+
+
+def test_unpicklable_value_counts_as_error_not_crash(store):
+    assert store.store(KEY_A, lambda: None) is False
+    assert store.stats.errors == 1 and store.stats.stores == 0
+    assert store.load(KEY_A) is None
+
+
+# ---------------------------------------------------------------------------
+# Eviction
+# ---------------------------------------------------------------------------
+
+def test_gc_evicts_least_recently_used_first(tmp_path):
+    store = ArtifactStore(tmp_path / "cache", max_bytes=10 ** 9)
+    payload = "x" * 2000
+    keys = [f"{i:02x}" + "0" * 62 for i in range(4)]
+    now = time.time()
+    for age, key in enumerate(keys):
+        store.store(key, payload)
+        os.utime(store._path(key), (now - 1000 + 100 * age, now - 1000 + 100 * age))
+    entry_bytes = store.total_bytes() // 4
+    # Budget for two entries: the two oldest go first.
+    store.max_bytes = 2 * entry_bytes + entry_bytes // 2
+    evicted = store.gc()
+    assert evicted == 2 and store.stats.evictions == 2
+    assert keys[0] not in store and keys[1] not in store
+    assert keys[2] in store and keys[3] in store
+
+
+def test_store_triggers_gc_over_budget(tmp_path):
+    store = ArtifactStore(tmp_path / "cache", max_bytes=1)
+    store.store(KEY_A, "a" * 1000)
+    store.store(KEY_B, "b" * 1000)
+    # A 1-byte budget can hold nothing; every store evicts down to the floor.
+    assert len(store) <= 1
+    assert store.stats.evictions >= 1
+
+
+def test_first_store_reclaims_stale_namespaces(store, monkeypatch):
+    """A toolchain change frees the old namespace on first use, not at 2 GiB."""
+    store.store(KEY_A, "old-toolchain artifact")
+    monkeypatch.setattr(store_mod, "_CODE_FINGERPRINT", "e" * 64)
+    migrated = ArtifactStore(store.root)
+    migrated.store(KEY_A, "new artifact")        # way under budget
+    assert not store.namespace.exists()
+    assert migrated.stats.evictions == 1
+    assert migrated.load(KEY_A) == "new artifact"
+
+
+def test_orphaned_tmp_files_are_reclaimed(store):
+    store.store(KEY_A, "artifact")
+    shard = store._path(KEY_A).parent
+    orphan = shard / f".{KEY_A}.art.99999.0.tmp"
+    orphan.write_bytes(b"partial write from a killed worker")
+    old = time.time() - 2 * store_mod._TMP_GRACE_SECONDS
+    os.utime(orphan, (old, old))
+    fresh = shard / f".{KEY_A}.art.99999.1.tmp"
+    fresh.write_bytes(b"in-flight write from a live worker")
+    store.gc()
+    assert not orphan.exists()                   # past the grace period: deleted
+    assert fresh.exists()                        # live writer's file untouched
+    assert store.load(KEY_A) == "artifact"
+    store.clear()                                # clear() takes everything, age or not
+    assert not fresh.exists() and len(store) == 0
+
+
+def test_hits_refresh_recency(tmp_path):
+    store = ArtifactStore(tmp_path / "cache", max_bytes=10 ** 9)
+    old = time.time() - 10_000
+    store.store(KEY_A, "a")
+    store.store(KEY_B, "b")
+    for key in (KEY_A, KEY_B):
+        os.utime(store._path(key), (old, old))
+    assert store.load(KEY_A) == "a"             # refreshes A's access time
+    store.max_bytes = store.total_bytes() - 1   # force one eviction
+    store.gc()
+    assert KEY_A in store and KEY_B not in store
+
+
+# ---------------------------------------------------------------------------
+# Concurrency: atomic publication without locks
+# ---------------------------------------------------------------------------
+
+def _store_worker(root, key, tag):
+    from repro.compiler.store import ArtifactStore
+
+    store = ArtifactStore(root)
+    for _ in range(20):
+        store.store(key, {"tag": tag, "payload": list(range(500))})
+    return True
+
+
+def test_concurrent_writers_converge_to_one_valid_entry(tmp_path):
+    from concurrent.futures import ProcessPoolExecutor
+    from concurrent.futures.process import BrokenProcessPool
+
+    root = str(tmp_path / "cache")
+    try:
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            results = list(pool.map(_store_worker, [root] * 2, [KEY_A] * 2, ["p1", "p2"]))
+    except (OSError, PermissionError, BrokenProcessPool):
+        pytest.skip("process pools unavailable in this environment")
+    assert results == [True, True]
+    store = ArtifactStore(root)
+    value = store.load(KEY_A)
+    assert value is not None and value["tag"] in ("p1", "p2")
+    assert len(store) == 1
+    # No temporary files left behind by either writer (names are dot-prefixed).
+    leftovers = [p for p in store.namespace.rglob(".*.tmp")]
+    assert leftovers == []
+
+
+# ---------------------------------------------------------------------------
+# Activation: environment variable, explicit configuration
+# ---------------------------------------------------------------------------
+
+def test_env_var_activates_store(tmp_path, monkeypatch):
+    reset_store_state()
+    monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "env-cache"))
+    store = active_store()
+    assert store is not None and store.root == tmp_path / "env-cache"
+    assert active_store() is store              # memoised: counters accumulate
+    monkeypatch.delenv(CACHE_DIR_ENV)
+    reset_store_state()
+    assert active_store() is None
+
+
+def test_configure_store_overrides_env(tmp_path, monkeypatch):
+    monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "env-cache"))
+    try:
+        assert configure_store(None) is None
+        assert active_store() is None           # disk tier off despite the env var
+        pinned = configure_store(tmp_path / "pinned", max_bytes=1234)
+        assert active_store() is pinned and pinned.max_bytes == 1234
+    finally:
+        reset_store_state()
+
+
+# ---------------------------------------------------------------------------
+# Two-tier pipeline integration
+# ---------------------------------------------------------------------------
+
+def test_disk_hit_is_not_a_recompilation(pipeline_store, toy_bn, hw1_small):
+    compile_pairing(toy_bn, hw=hw1_small)
+    stats = compile_cache_stats()
+    assert stats["disk"]["stores"] == 1 and stats["result"]["misses"] == 1
+    # Same process, cold memory tier: the disk serves the artefact and the
+    # "result misses == recompilations" contract holds.
+    clear_caches()
+    again = compile_pairing(toy_bn, hw=hw1_small)
+    stats = compile_cache_stats()
+    assert stats["result"]["misses"] == 0
+    assert stats["disk"]["hits"] == 1
+    assert again.cycles > 0
+    # The memory tier was repopulated: a third compile touches neither disk nor
+    # the pipeline.
+    compile_pairing(toy_bn, hw=hw1_small)
+    stats = compile_cache_stats()
+    assert stats["result"]["hits"] == 1 and stats["disk"]["hits"] == 1
+
+
+def test_use_cache_false_bypasses_disk(pipeline_store, toy_bn, hw1_small):
+    compile_pairing(toy_bn, hw=hw1_small, use_cache=False)
+    stats = compile_cache_stats()["disk"]
+    assert stats["hits"] == 0 and stats["misses"] == 0 and stats["stores"] == 0
+
+
+def test_clear_caches_resets_store_counters_and_optionally_disk(
+    pipeline_store, toy_bn, hw1_small
+):
+    compile_pairing(toy_bn, hw=hw1_small)
+    assert len(pipeline_store) == 1
+    clear_caches()
+    snapshot = pipeline_store.stats.snapshot()
+    assert snapshot["hits"] == 0 and snapshot["misses"] == 0 and snapshot["stores"] == 0
+    assert len(pipeline_store) == 1             # artefacts persist by default
+    clear_caches(disk=True)
+    assert len(pipeline_store) == 0             # genuinely cold on demand
+    compile_pairing(toy_bn, hw=hw1_small)
+    assert compile_cache_stats()["result"]["misses"] == 1
+
+
+# ---------------------------------------------------------------------------
+# Cross-process persistence: the acceptance-criterion scenario
+# ---------------------------------------------------------------------------
+
+_SWEEP_SCRIPT = """
+import json, sys
+from repro.compiler.pipeline import compile_cache_stats, compile_pairing
+from repro.curves.catalog import get_curve
+from repro.fields.variants import VariantConfig
+from repro.hw.presets import paper_hw1, paper_hw2
+
+curve = get_curve("TOY-BN42")
+bits = curve.params.p.bit_length()
+for hw in (paper_hw1(bits), paper_hw2(bits)):
+    compile_pairing(curve, hw=hw)
+print(json.dumps(compile_cache_stats()))
+"""
+
+
+def test_fresh_process_sweep_is_served_from_disk(tmp_path):
+    """Two design points compiled in one process are recompilation-free in the next."""
+    src = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    env = dict(os.environ)
+    env[CACHE_DIR_ENV] = str(tmp_path / "cache")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+
+    def run_sweep():
+        proc = subprocess.run(
+            [sys.executable, "-c", _SWEEP_SCRIPT],
+            capture_output=True, text=True, env=env, timeout=600,
+        )
+        assert proc.returncode == 0, proc.stderr
+        return json.loads(proc.stdout.strip().splitlines()[-1])
+
+    cold = run_sweep()
+    assert cold["result"]["misses"] == 2
+    assert cold["disk"]["stores"] == 2
+
+    warm = run_sweep()
+    assert warm["result"]["misses"] == 0        # zero recompilations
+    assert warm["disk"]["hits"] == 2
+    assert warm["disk"]["misses"] == 0

@@ -130,3 +130,29 @@ def test_codesign_routes_through_engine(toy_bn):
     # The engine path must agree with a direct re-evaluation.
     again = alu_family_codesign(toy_bn, long_latencies=(14, 26, 38), workers=1)
     assert again == records
+
+
+# ---------------------------------------------------------------------------
+# Dedup at dispatch: each distinct point compiles exactly once pool-wide
+# ---------------------------------------------------------------------------
+
+def test_cold_parallel_sweep_compiles_each_distinct_point_once(toy_bn, toy_points):
+    """Duplicated points are dispatched once and filled from a representative."""
+    clear_caches()
+    points = list(toy_points) + list(toy_points[:3])
+    with ParallelExplorer(toy_bn, workers=2, chunk_size=2) as engine:
+        ranked = engine.explore(points)
+    report = engine.last_report
+    assert report.points == len(points)
+    assert report.distinct_points == len(toy_points)
+    # Exactly one compilation per distinct point across the whole pool,
+    # whether the sweep ran parallel or fell back to the sequential path.
+    assert report.cache_stats["result"]["misses"] == len(toy_points)
+    assert "distinct_points" in report.describe()
+    # Duplicate slots carry their twin's metrics; ranking covers all 9 points.
+    for i in range(3):
+        assert engine.evaluated[len(toy_points) + i] == engine.evaluated[i]
+    assert len(ranked) == len(points)
+    assert engine.evaluated[: len(toy_points)] == [
+        evaluate_design_point(toy_bn, point) for point in toy_points
+    ]
