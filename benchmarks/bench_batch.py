@@ -1,0 +1,28 @@
+"""Benchmark for the compiled batched multi-pairing kernel.
+
+Saves ``benchmarks/results/batch_verify.json`` so the CI regression guard
+(``benchmarks/compare_bench.py``) tracks the batched cycle counts exactly like
+the single-pairing numbers: the ``cycles`` leaves come from the deterministic
+multi-core simulator, so any increase is a real compiler/model change.
+"""
+
+from repro.evaluation import batch_verify
+
+
+def test_batched_verify_cycles(benchmark, save_result):
+    result = benchmark.pedantic(batch_verify.run, rounds=1, iterations=1)
+    save_result("batch_verify", result)
+
+    rows = {row["batch"]: row for row in result["rows"]}
+    largest = max(rows)
+    assert largest >= 4
+    # Core scaling: at the largest batch, 4 cores must beat 1 core strictly.
+    big = rows[largest]["cores"]
+    assert big["c4"]["cycles"] < big["c1"]["cycles"]
+    # Batch amortisation: cycles per pairing fall monotonically with the batch
+    # at every simulated core count (single final exp + shared squarings).
+    for label in (f"c{n}" for n in result["core_counts"]):
+        per_pairing = [rows[batch]["cores"][label]["cycles_per_pairing"]
+                       for batch in sorted(rows)]
+        assert per_pairing == sorted(per_pairing, reverse=True)
+        assert per_pairing[-1] < per_pairing[0]

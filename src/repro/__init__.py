@@ -17,6 +17,7 @@ The most common entry points are re-exported here.
 from repro.compiler.pipeline import (
     CompilerPipeline,
     compile_cache_stats,
+    compile_multi_pairing,
     compile_pairing,
 )
 from repro.compiler.store import ArtifactStore, active_store, configure_store
@@ -29,7 +30,7 @@ from repro.pairing.batch import multi_pairing, precompute_g2
 from repro.sim.cycle import CycleAccurateSimulator
 from repro.sim.functional import FunctionalSimulator
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "get_curve",
@@ -39,6 +40,7 @@ __all__ = [
     "precompute_g2",
     "CompilerPipeline",
     "compile_pairing",
+    "compile_multi_pairing",
     "compile_cache_stats",
     "ArtifactStore",
     "active_store",

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from repro.errors import CompilerError
 from repro.ir.builder import IRBuilder
+from repro.pairing.batch import LiveSource, batched_miller_loop
 from repro.pairing.context import PairingContext
 from repro.pairing.final_exp import final_exponentiation
 from repro.pairing.miller import miller_loop
@@ -73,6 +74,82 @@ def generate_pairing_ir(curve, use_naf: bool = True, include_final_exp: bool = T
     y_q = builder.input(curve.tower.twist_field, "yQ")
 
     f = miller_loop(ctx, (x_p, y_p), (x_q, y_q), use_naf=use_naf)
+    if include_final_exp:
+        f = final_exponentiation(ctx, f)
+    builder.output(f, "result")
+    return builder.module
+
+
+class _LaneScopedSource:
+    """Wrap a :class:`~repro.pairing.batch.LiveSource` in a builder lane scope.
+
+    Every Miller-loop step the source performs (point update + line
+    coefficients) is emitted under its pair's lane, while the shared
+    accumulator work the caller performs on the returned lines stays on the
+    shared lane -- the partition the multi-core scheduler distributes.
+    """
+
+    __slots__ = ("_builder", "_lane", "_inner")
+
+    def __init__(self, builder: IRBuilder, lane: int, inner: LiveSource):
+        self._builder = builder
+        self._lane = lane
+        self._inner = inner
+
+    def double(self):
+        with self._builder.lane(self._lane):
+            return self._inner.double()
+
+    def add(self, digit: int):
+        with self._builder.lane(self._lane):
+            return self._inner.add(digit)
+
+    def negate(self):
+        with self._builder.lane(self._lane):
+            self._inner.negate()
+
+    def frobenius_add(self, n: int):
+        with self._builder.lane(self._lane):
+            return self._inner.frobenius_add(n)
+
+    def finish(self):
+        self._inner.finish()
+
+
+def generate_multi_pairing_ir(curve, n_pairs: int, use_naf: bool = True,
+                              include_final_exp: bool = True,
+                              name: str | None = None):
+    """Trace the batched pairing-product kernel ``Pi e(P_i, Q_i)`` into IR.
+
+    The kernel shares one accumulator squaring per Miller iteration and a
+    single final exponentiation across all ``n_pairs`` pairs (the Groth16
+    verifier shape), by running the *same*
+    :func:`repro.pairing.batch.batched_miller_loop` the software
+    ``multi_pairing`` executes -- on trace elements instead of field elements.
+    Per-pair line evaluations are tagged with their pair's lane so the
+    multi-core scheduler (:func:`repro.sim.cycle.CycleAccurateSimulator.run_multicore`)
+    can dispatch them across :attr:`~repro.hw.model.HardwareModel.n_cores`.
+
+    Inputs are ``xP{i}``/``yP{i}`` (F_p) and ``xQ{i}``/``yQ{i}`` (twist field)
+    for each pair ``i``; the single output is the fused G_T product.
+    """
+    n_pairs = int(n_pairs)
+    if n_pairs < 1:
+        raise CompilerError("a batched pairing kernel needs at least one pair")
+    builder = IRBuilder(name or f"multi-pairing-{curve.name}-x{n_pairs}")
+    ctx = TracingPairingContext(curve, builder)
+
+    sources = []
+    for i in range(n_pairs):
+        with builder.lane(i):
+            x_p = builder.input(curve.tower.fp, f"xP{i}")
+            y_p = builder.input(curve.tower.fp, f"yP{i}")
+            x_q = builder.input(curve.tower.twist_field, f"xQ{i}")
+            y_q = builder.input(curve.tower.twist_field, f"yQ{i}")
+            inner = LiveSource(ctx, (x_p, y_p), (x_q, y_q))
+        sources.append(_LaneScopedSource(builder, i, inner))
+
+    f = batched_miller_loop(ctx, sources, use_naf=use_naf)
     if include_final_exp:
         f = final_exponentiation(ctx, f)
     builder.output(f, "result")

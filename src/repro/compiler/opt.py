@@ -41,7 +41,10 @@ def _rebuild(module: IRModule, transform) -> IRModule:
     remap = [0] * len(module.instructions)
     for vid, instr in enumerate(module.instructions):
         new_args = tuple(remap[a] for a in instr.args)
+        # Rebuilt instructions keep the source instruction's batch lane.
+        new.current_lane = instr.lane
         remap[vid] = transform(new, instr, new_args)
+    new.current_lane = None
     return new
 
 
@@ -194,6 +197,11 @@ def global_value_numbering(module: IRModule, p: int) -> IRModule:
             key = (op, ordered, instr.attr)
         hit = table.get(key)
         if hit is not None:
+            # A value shared by two different lanes is no longer per-pair work;
+            # demote it to the shared lane so the multi-core partition stays
+            # honest (the dependence tracking keeps it correct either way).
+            if new.instructions[hit].lane != instr.lane:
+                new.instructions[hit].lane = None
             return hit
         vid = new.emit(op, args, attr=instr.attr)
         table[key] = vid
@@ -219,7 +227,9 @@ def dead_code_elimination(module: IRModule) -> IRModule:
     for vid, instr in enumerate(module.instructions):
         if not live[vid]:
             continue
+        new.current_lane = instr.lane
         remap[vid] = new.emit(instr.op, tuple(remap[a] for a in instr.args), attr=instr.attr)
+    new.current_lane = None
     return new
 
 

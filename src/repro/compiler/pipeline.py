@@ -15,8 +15,8 @@ from dataclasses import dataclass, field
 from repro.compiler.asm import assemble
 from repro.compiler.bankalloc import allocate_banks
 from repro.compiler.cache import CompileCache
-from repro.compiler.codegen import generate_pairing_ir
-from repro.compiler.store import active_store
+from repro.compiler.codegen import generate_multi_pairing_ir, generate_pairing_ir
+from repro.compiler.store import StoreStats, active_store
 from repro.compiler.opt import OptStats, optimize
 from repro.compiler.regalloc import allocate_registers
 from repro.compiler.schedule import (
@@ -24,11 +24,12 @@ from repro.compiler.schedule import (
     affinity_schedule,
     program_order_schedule,
 )
+from repro.errors import CompilerError
 from repro.fields.variants import VariantConfig
 from repro.hw.model import HardwareModel
 from repro.hw.presets import default_model
 from repro.ir.lowering import lower_module
-from repro.sim.cycle import CycleAccurateSimulator, CycleStats
+from repro.sim.cycle import CycleAccurateSimulator, CycleStats, MultiCoreStats
 
 
 @dataclass
@@ -93,8 +94,94 @@ class CompileResult:
         }
 
 
+@dataclass
+class MultiPairingCompileResult:
+    """Everything the harness needs about one compiled *batched* pairing kernel.
+
+    The kernel computes the fused product ``Pi e(P_i, Q_i)`` with one shared
+    accumulator squaring per Miller iteration and a single final
+    exponentiation; :attr:`multicore_stats` holds the deterministic
+    ``n_cores``-core simulation (per-pair line-evaluation lanes distributed by
+    the LPT list schedule), :attr:`cycle_stats` the plain single-core run of
+    the same schedule.
+    """
+
+    curve_name: str
+    n_pairs: int
+    hw: HardwareModel
+    variant_config: VariantConfig
+    use_naf: bool
+    optimized: bool
+    # Instruction counts.
+    hl_instructions: int
+    initial_instructions: int
+    final_instructions: int
+    opt_stats: OptStats
+    # Backend results.
+    schedule: ScheduledProgram
+    cycle_stats: CycleStats            # single-core reference simulation
+    multicore_stats: MultiCoreStats    # hw.n_cores-core simulation
+    registers_per_bank: dict
+    total_registers: int
+    program: object | None
+    stage_seconds: dict = field(default_factory=dict)
+
+    @property
+    def cycles(self) -> int:
+        """Batch latency on the configured core count."""
+        return self.multicore_stats.total_cycles
+
+    @property
+    def single_core_cycles(self) -> int:
+        return self.cycle_stats.total_cycles
+
+    @property
+    def cycles_per_pairing(self) -> float:
+        return self.cycles / self.n_pairs
+
+    @property
+    def ipc(self) -> float:
+        """IPC of the configured (multi-core) simulation, consistent with
+        :attr:`cycles`; the single-core IPC is ``cycle_stats.ipc``."""
+        return self.multicore_stats.ipc
+
+    @property
+    def imem_bits(self) -> int:
+        if self.program is not None:
+            return self.program.binary_size_bits()
+        return self.schedule.instruction_count * 32
+
+    @property
+    def compile_seconds(self) -> float:
+        return sum(self.stage_seconds.values())
+
+    def describe(self) -> dict:
+        return {
+            "curve": self.curve_name,
+            "kernel": "multi_pairing",
+            "n_pairs": self.n_pairs,
+            "n_cores": self.multicore_stats.n_cores,
+            "hw": self.hw.name,
+            "variants": self.variant_config.name,
+            "hl_instructions": self.hl_instructions,
+            "init_instructions": self.initial_instructions,
+            "opt_instructions": self.final_instructions,
+            "cycles": self.cycles,
+            "single_core_cycles": self.single_core_cycles,
+            "cycles_per_pairing": round(self.cycles_per_pairing, 1),
+            "registers": self.total_registers,
+            "compile_seconds": round(self.compile_seconds, 2),
+        }
+
+
 class CompilerPipeline:
-    """Configurable pipeline instance (see ``compile_pairing`` for the cached API)."""
+    """Configurable pipeline instance (see ``compile_pairing`` for the cached API).
+
+    ``n_pairs=None`` compiles the classic single-pairing kernel; an integer
+    compiles the batched multi-pairing kernel of that size through the *same*
+    stage sequence (plus the multi-core simulation) and returns a
+    :class:`MultiPairingCompileResult` instead of a :class:`CompileResult`.
+    """
 
     def __init__(
         self,
@@ -105,6 +192,7 @@ class CompilerPipeline:
         use_affinity: bool = True,
         do_assemble: bool = True,
         record_trace: bool = False,
+        n_pairs: int | None = None,
     ):
         self.hw = hw
         self.variant_config = variant_config or VariantConfig.all_karatsuba()
@@ -113,30 +201,41 @@ class CompilerPipeline:
         self.use_affinity = use_affinity
         self.do_assemble = do_assemble
         self.record_trace = record_trace
+        self.n_pairs = n_pairs
 
     # -- individual stages -----------------------------------------------------------
     def run_codegen(self, curve):
+        if self.n_pairs is not None:
+            return generate_multi_pairing_ir(curve, self.n_pairs, use_naf=self.use_naf)
         return generate_pairing_ir(curve, use_naf=self.use_naf)
 
     def run_lowering(self, curve, hl_module):
         return lower_module(hl_module, curve.tower.levels, self.variant_config)
 
-    def compile(self, curve, include_baseline: bool = False) -> CompileResult:
+    def compile(self, curve, include_baseline: bool = False):
         hw = (self.hw or default_model(curve.params.p.bit_length())).validate()
+        n_pairs = self.n_pairs
+        if include_baseline and n_pairs is not None:
+            raise CompilerError(
+                "baseline (program-order) timing is only supported for the "
+                "single-pairing kernel"
+            )
         timings: dict = {}
 
         start = time.perf_counter()
-        hl_module = _cached_hl_module(curve, self.use_naf)
+        hl_module = _cached_hl_module(curve, self.use_naf, n_pairs)
         timings["codegen"] = time.perf_counter() - start
 
         start = time.perf_counter()
-        low_module = _cached_low_module(curve, self.variant_config, self.use_naf)
+        low_module = _cached_low_module(curve, self.variant_config, self.use_naf, n_pairs)
         timings["lowering"] = time.perf_counter() - start
 
         initial_instructions = low_module.count_compute_ops()
         start = time.perf_counter()
         if self.optimize_ir:
-            optimized_module, opt_stats = _cached_optimized(curve, self.variant_config, self.use_naf)
+            optimized_module, opt_stats = _cached_optimized(
+                curve, self.variant_config, self.use_naf, n_pairs
+            )
         else:
             optimized_module, opt_stats = low_module, OptStats(
                 initial=initial_instructions, final=initial_instructions
@@ -154,6 +253,17 @@ class CompilerPipeline:
         start = time.perf_counter()
         simulator = CycleAccurateSimulator(record_trace=self.record_trace)
         cycle_stats = simulator.run(schedule)
+        multicore_stats = None
+        if n_pairs is not None:
+            if hw.n_cores > 1:
+                multicore_stats = simulator.run_multicore(schedule, hw.n_cores)
+            else:
+                # One core degenerates to the classic simulation just done;
+                # skip the redundant second walk and re-label it.
+                multicore_stats = MultiCoreStats.from_single_core(
+                    cycle_stats,
+                    dict.fromkeys(optimized_module.lane_histogram(), 0),
+                )
         timings["cyclesim"] = time.perf_counter() - start
 
         start = time.perf_counter()
@@ -163,7 +273,8 @@ class CompilerPipeline:
         program = None
         if self.do_assemble:
             start = time.perf_counter()
-            program = assemble(schedule, allocation, name=f"{curve.name}-{hw.name}")
+            suffix = "" if n_pairs is None else f"-x{n_pairs}"
+            program = assemble(schedule, allocation, name=f"{curve.name}{suffix}-{hw.name}")
             timings["asm+link"] = time.perf_counter() - start
 
         baseline_stats = None
@@ -174,7 +285,7 @@ class CompilerPipeline:
             baseline_stats = CycleAccurateSimulator(record_trace=self.record_trace).run(base_schedule)
             timings["baseline-sim"] = time.perf_counter() - start
 
-        return CompileResult(
+        common = dict(
             curve_name=curve.name,
             hw=hw,
             variant_config=self.variant_config,
@@ -189,9 +300,13 @@ class CompilerPipeline:
             registers_per_bank=dict(allocation.registers_per_bank),
             total_registers=allocation.total_registers,
             program=program,
-            baseline_cycle_stats=baseline_stats,
             stage_seconds=timings,
         )
+        if n_pairs is not None:
+            return MultiPairingCompileResult(
+                n_pairs=n_pairs, multicore_stats=multicore_stats, **common
+            )
+        return CompileResult(baseline_cycle_stats=baseline_stats, **common)
 
 
 # ---------------------------------------------------------------------------
@@ -204,22 +319,42 @@ _OPT_CACHE = CompileCache("iropt")
 _RESULT_CACHE = CompileCache("result")
 
 
-def _cached_hl_module(curve, use_naf: bool):
-    key = (curve.name, use_naf)
-    return _HL_CACHE.get_or_compute(key, lambda: generate_pairing_ir(curve, use_naf=use_naf))
+# Batched-kernel (``n_pairs`` set) stage keys share the same instrumented
+# caches, namespaced by a leading marker so they can never collide with the
+# single-pairing tuples.
+
+def _stage_key(curve, use_naf: bool, n_pairs: int | None, *extra) -> tuple:
+    if n_pairs is None:
+        return (curve.name, use_naf, *extra)
+    return ("multi", curve.name, n_pairs, use_naf, *extra)
 
 
-def _cached_low_module(curve, config: VariantConfig, use_naf: bool):
-    key = (curve.name, use_naf, config.cache_key())
+def _cached_hl_module(curve, use_naf: bool, n_pairs: int | None = None):
+    def factory():
+        if n_pairs is None:
+            return generate_pairing_ir(curve, use_naf=use_naf)
+        return generate_multi_pairing_ir(curve, n_pairs, use_naf=use_naf)
+
+    return _HL_CACHE.get_or_compute(_stage_key(curve, use_naf, n_pairs), factory)
+
+
+def _cached_low_module(curve, config: VariantConfig, use_naf: bool,
+                       n_pairs: int | None = None):
+    key = _stage_key(curve, use_naf, n_pairs, config.cache_key())
     return _LOW_CACHE.get_or_compute(
-        key, lambda: lower_module(_cached_hl_module(curve, use_naf), curve.tower.levels, config)
+        key,
+        lambda: lower_module(_cached_hl_module(curve, use_naf, n_pairs),
+                             curve.tower.levels, config),
     )
 
 
-def _cached_optimized(curve, config: VariantConfig, use_naf: bool):
-    key = (curve.name, use_naf, config.cache_key())
+def _cached_optimized(curve, config: VariantConfig, use_naf: bool,
+                      n_pairs: int | None = None):
+    key = _stage_key(curve, use_naf, n_pairs, config.cache_key())
     return _OPT_CACHE.get_or_compute(
-        key, lambda: optimize(_cached_low_module(curve, config, use_naf), curve.params.p)
+        key,
+        lambda: optimize(_cached_low_module(curve, config, use_naf, n_pairs),
+                         curve.params.p),
     )
 
 
@@ -264,7 +399,40 @@ def compile_cache_stats() -> dict:
         # must not walk the store's directory tree (use ``store.describe()``
         # directly for on-disk usage).
         stats[store.name] = store.counters()
+    else:
+        # No disk tier configured: report zeroed counters under the same key
+        # so runner summaries and --assert-warm scripts never have to
+        # special-case cold configurations (``stats["disk"]`` is always there,
+        # with the full ``StoreStats.snapshot()`` key set).
+        stats["disk"] = dict(StoreStats().snapshot(), name="disk")
     return stats
+
+
+def _cached_compile(key: str, use_cache: bool, compile_fn):
+    """Two-tier result lookup shared by both kernel entry points.
+
+    Memory, then disk, then a real compile.  The result-cache miss counter is
+    only bumped when a real compile happens, preserving the
+    "misses == recompilations" contract for disk-served sweeps.
+    """
+    store = active_store() if use_cache else None
+    if use_cache:
+        cached = _RESULT_CACHE.peek(key)
+        if cached is not None:
+            _RESULT_CACHE.stats.hits += 1
+            return cached
+        if store is not None:
+            loaded = store.load(key)
+            if loaded is not None:
+                _RESULT_CACHE.store(key, loaded)
+                return loaded
+        _RESULT_CACHE.stats.misses += 1
+    result = compile_fn()
+    if use_cache:
+        _RESULT_CACHE.store(key, result)
+        if store is not None:
+            store.store(key, result)
+    return result
 
 
 def compile_pairing(
@@ -293,21 +461,6 @@ def compile_pairing(
         include_baseline=include_baseline,
         record_trace=record_trace,
     )
-    store = active_store() if use_cache else None
-    if use_cache:
-        # Two-tier lookup: memory, then disk, then compile.  The result-cache
-        # miss counter is only bumped when a real compile happens, preserving
-        # the "misses == recompilations" contract for disk-served sweeps.
-        cached = _RESULT_CACHE.peek(key)
-        if cached is not None:
-            _RESULT_CACHE.stats.hits += 1
-            return cached
-        if store is not None:
-            loaded = store.load(key)
-            if loaded is not None:
-                _RESULT_CACHE.store(key, loaded)
-                return loaded
-        _RESULT_CACHE.stats.misses += 1
     pipeline = CompilerPipeline(
         hw=hw_resolved,
         variant_config=variant_config,
@@ -317,9 +470,58 @@ def compile_pairing(
         do_assemble=do_assemble,
         record_trace=record_trace,
     )
-    result = pipeline.compile(curve, include_baseline=include_baseline)
-    if use_cache:
-        _RESULT_CACHE.store(key, result)
-        if store is not None:
-            store.store(key, result)
-    return result
+    return _cached_compile(
+        key, use_cache, lambda: pipeline.compile(curve, include_baseline=include_baseline)
+    )
+
+
+def compile_multi_pairing(
+    curve,
+    n_pairs: int,
+    hw: HardwareModel | None = None,
+    variant_config: VariantConfig | None = None,
+    optimize_ir: bool = True,
+    use_naf: bool = True,
+    use_affinity: bool = True,
+    do_assemble: bool = True,
+    use_cache: bool = True,
+) -> MultiPairingCompileResult:
+    """Compile the batched pairing-product kernel ``Pi e(P_i, Q_i)`` for ``curve``.
+
+    The kernel shares one accumulator squaring per Miller iteration and a
+    single final exponentiation across the batch
+    (:func:`repro.compiler.codegen.generate_multi_pairing_ir`); the per-pair
+    line-evaluation lanes are then dispatched across ``hw.n_cores`` replicated
+    cores by the deterministic multi-core simulation
+    (:meth:`repro.sim.cycle.CycleAccurateSimulator.run_multicore`).  Results
+    flow through the same two-tier (memory -> disk) compile cache as
+    :func:`compile_pairing`, with the batch size and core count part of the
+    semantic digest.
+    """
+    n_pairs = int(n_pairs)
+    if n_pairs < 1:
+        raise CompilerError("a batched pairing kernel needs at least one pair")
+    variant_config = variant_config or VariantConfig.all_karatsuba()
+    hw_resolved = (hw or default_model(curve.params.p.bit_length())).validate()
+    key = CompileCache.make_key(
+        curve.name,
+        variant_config,
+        hw_resolved,
+        kernel="multi_pairing",
+        n_pairs=n_pairs,
+        n_cores=hw_resolved.n_cores,   # not part of hw.cache_key(); cycles depend on it
+        optimize_ir=optimize_ir,
+        use_naf=use_naf,
+        use_affinity=use_affinity,
+        do_assemble=do_assemble,
+    )
+    pipeline = CompilerPipeline(
+        hw=hw_resolved,
+        variant_config=variant_config,
+        optimize_ir=optimize_ir,
+        use_naf=use_naf,
+        use_affinity=use_affinity,
+        do_assemble=do_assemble,
+        n_pairs=n_pairs,
+    )
+    return _cached_compile(key, use_cache, lambda: pipeline.compile(curve))

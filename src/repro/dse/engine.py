@@ -138,7 +138,7 @@ def _stats_delta(after: dict, before: dict) -> dict:
     }
 
 
-def _evaluate_chunk(curve_name, chunk, n_cores, technology, do_assemble):
+def _evaluate_chunk(curve_name, chunk, n_cores, technology, do_assemble, batch_size=None):
     """Worker entry point: evaluate one chunk of (index, point) pairs.
 
     Runs in a separate process; the curve is rebuilt (or found pre-built when
@@ -151,7 +151,8 @@ def _evaluate_chunk(curve_name, chunk, n_cores, technology, do_assemble):
     curve = get_curve(curve_name)
     before = compile_cache_stats()
     evaluated = [
-        (index, evaluate_design_point(curve, point, n_cores, technology, do_assemble))
+        (index, evaluate_design_point(curve, point, n_cores, technology, do_assemble,
+                                      batch_size=batch_size))
         for index, point in chunk
     ]
     return evaluated, _stats_delta(compile_cache_stats(), before)
@@ -168,6 +169,7 @@ class ParallelExplorer:
         technology: TechnologyNode = TECH_40NM,
         chunk_size: int | None = None,
         do_assemble: bool = True,
+        batch_size: int | None = None,
     ):
         self.curve = curve
         self.workers = default_workers() if workers is None else max(1, int(workers))
@@ -175,6 +177,10 @@ class ParallelExplorer:
         self.technology = technology
         self.chunk_size = chunk_size
         self.do_assemble = do_assemble
+        #: When set, rank points on the batched multi-pairing kernel of this
+        #: batch size (cycles from the n_cores-core simulation) instead of the
+        #: single-pairing kernel.
+        self.batch_size = batch_size
         #: Metrics of the last sweep, in submission order (mirrors the points list).
         self.evaluated: list = []
         self.last_report: ExplorationReport | None = None
@@ -234,7 +240,7 @@ class ParallelExplorer:
     def _evaluate_sequential(self, points) -> list:
         return [
             evaluate_design_point(self.curve, point, self.n_cores, self.technology,
-                                  self.do_assemble)
+                                  self.do_assemble, batch_size=self.batch_size)
             for point in points
         ]
 
@@ -262,6 +268,7 @@ class ParallelExplorer:
                 [self.n_cores] * len(chunks),
                 [self.technology] * len(chunks),
                 [self.do_assemble] * len(chunks),
+                [self.batch_size] * len(chunks),
             ):
                 for index, metrics in evaluated:
                     slots[index] = metrics

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.compiler.pipeline import compile_pairing
+from repro.compiler.pipeline import compile_multi_pairing, compile_pairing
 from repro.dse.space import DesignPoint
 from repro.errors import DSEError
 from repro.hw.area import estimate_area
@@ -20,7 +20,14 @@ from repro.hw.timing import frequency_mhz
 
 @dataclass(frozen=True)
 class DesignMetrics:
-    """Figures of merit of one evaluated design point."""
+    """Figures of merit of one evaluated design point.
+
+    ``batch`` is 1 for the classic single-pairing evaluation; for batched
+    evaluations (``batch_size`` on the explorer) ``cycles`` is the latency of
+    the whole fused batch on the point's core count and
+    ``cycles_per_pairing`` the amortised per-pairing cost the ranking cares
+    about.
+    """
 
     label: str
     curve: str
@@ -33,6 +40,8 @@ class DesignMetrics:
     area_mm2: float
     throughput_per_mm2: float
     registers: int
+    batch: int = 1
+    cycles_per_pairing: float = 0.0
 
     def describe(self) -> dict:
         return {
@@ -46,6 +55,8 @@ class DesignMetrics:
             "throughput_ops": round(self.throughput_ops, 1),
             "area_mm2": round(self.area_mm2, 3),
             "throughput_per_mm2": round(self.throughput_per_mm2, 2),
+            "batch": self.batch,
+            "cycles_per_pairing": round(self.cycles_per_pairing or self.cycles, 1),
         }
 
 
@@ -74,13 +85,35 @@ def evaluate_design_point(
     n_cores: int = 1,
     technology: TechnologyNode = TECH_40NM,
     do_assemble: bool = True,
+    batch_size: int | None = None,
 ) -> DesignMetrics:
-    """Compile + simulate + price one design point."""
-    result = compile_pairing(curve, hw=point.hw, variant_config=point.variant_config,
-                             do_assemble=do_assemble)
+    """Compile + simulate + price one design point.
+
+    With ``batch_size`` set, the point is scored on the *batched* multi-pairing
+    kernel (the Groth16-verifier shape): the fused batch is compiled once, the
+    per-pair lanes are dispatched across ``n_cores`` by the deterministic
+    multi-core simulation, and throughput counts pairings (not batches) per
+    second -- the ranking sweeps care about batched-verify throughput.
+    """
     freq = frequency_mhz(point.hw.word_width, point.hw.long_latency, technology)
-    latency_us = result.cycles / freq
-    throughput = n_cores * 1e6 / latency_us
+    if batch_size is not None:
+        # None is the sentinel for "single-pairing kernel"; an explicit 0 (or
+        # negative) batch is a caller bug and fails in compile_multi_pairing.
+        result = compile_multi_pairing(
+            curve, batch_size, hw=point.hw.with_cores(n_cores),
+            variant_config=point.variant_config, do_assemble=do_assemble,
+        )
+        latency_us = result.cycles / freq
+        # The multi-core simulation already models the cores; throughput is
+        # pairings per second of one such multi-core accelerator.
+        throughput = batch_size * 1e6 / latency_us
+        cycles_per_pairing = result.cycles_per_pairing
+    else:
+        result = compile_pairing(curve, hw=point.hw, variant_config=point.variant_config,
+                                 do_assemble=do_assemble)
+        latency_us = result.cycles / freq
+        throughput = n_cores * 1e6 / latency_us
+        cycles_per_pairing = float(result.cycles)
     area = estimate_area(point.hw, result.imem_bits, result.total_registers,
                          n_cores=n_cores, technology=technology)
     return DesignMetrics(
@@ -95,6 +128,8 @@ def evaluate_design_point(
         area_mm2=area.total_mm2,
         throughput_per_mm2=throughput / area.total_mm2,
         registers=result.total_registers,
+        batch=batch_size or 1,
+        cycles_per_pairing=cycles_per_pairing,
     )
 
 

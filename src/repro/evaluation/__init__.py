@@ -1,6 +1,7 @@
 """Evaluation harness: one module per table/figure of the paper."""
 
 from repro.evaluation import (  # noqa: F401
+    batch_verify,
     table2,
     table3,
     table5,
@@ -17,6 +18,7 @@ from repro.evaluation import (  # noqa: F401
 from repro.evaluation.runner import run_all, EXPERIMENTS
 
 __all__ = [
+    "batch_verify",
     "table2",
     "table3",
     "table5",

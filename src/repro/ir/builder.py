@@ -8,6 +8,8 @@ produces the accelerator's IR -- the paper's CodeGen stage.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+
 from repro.errors import IRError
 from repro.ir.module import IRModule
 
@@ -23,6 +25,22 @@ class IRBuilder:
     def emit(self, op: str, args: tuple, degree: int, attr=None) -> int:
         return self.module.emit(op, args, degree=degree, attr=attr)
 
+    # -- lanes ---------------------------------------------------------------------
+    @contextmanager
+    def lane(self, index: int | None):
+        """Stamp instructions emitted inside the block with batch lane ``index``.
+
+        Lanes mark the independent per-pair work of a batched kernel so the
+        multi-core scheduler can distribute it; everything emitted outside a
+        lane scope (accumulator updates, final exponentiation) stays shared.
+        """
+        previous = self.module.current_lane
+        self.module.current_lane = index
+        try:
+            yield self
+        finally:
+            self.module.current_lane = previous
+
     # -- value creation ------------------------------------------------------------
     def input(self, field, name: str) -> "TraceElement":
         vid = self.emit("input", (), field.degree, attr=name)
@@ -32,7 +50,11 @@ class IRBuilder:
         key = (element.field.degree, tuple(element.to_base_coeffs()))
         vid = self._const_cache.get(key)
         if vid is None:
-            vid = self.emit("const", (), element.field.degree, attr=element)
+            # Constants are cached across lanes, so they are always shared:
+            # a lane-stamped const reused by a different lane would lie to
+            # the multi-core partitioner.
+            with self.lane(None):
+                vid = self.emit("const", (), element.field.degree, attr=element)
             self._const_cache[key] = vid
         return TraceElement(self, vid, element.field)
 

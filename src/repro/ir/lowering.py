@@ -68,7 +68,13 @@ class _Lowerer:
     def const(self, value: int) -> int:
         vid = self._const_cache.get(value)
         if vid is None:
-            vid = self.emit("const", (), attr=value)
+            # The constant pool is shared across lanes (see IRBuilder.constant).
+            previous = self.low.current_lane
+            self.low.current_lane = None
+            try:
+                vid = self.emit("const", (), attr=value)
+            finally:
+                self.low.current_lane = previous
             self._const_cache[value] = vid
         return vid
 
@@ -259,6 +265,10 @@ def lower_module(hl: IRModule, levels: dict, config: VariantConfig | None = None
     for vid, instr in enumerate(hl.instructions):
         op = instr.op
         degree = instr.degree
+        # Every F_p instruction expanded from this high-level op inherits its
+        # batch lane, keeping the per-pair partition visible to the multi-core
+        # scheduler after scalarisation.
+        lowerer.low.current_lane = instr.lane
         if op == "input":
             expansion[vid] = tuple(
                 lowerer.emit("input", (), attr=(instr.attr, j)) for j in range(degree)
@@ -326,4 +336,5 @@ def lower_module(hl: IRModule, levels: dict, config: VariantConfig | None = None
         else:
             raise IRError(f"cannot lower high-level op {op!r}")
 
+    lowerer.low.current_lane = None
     return lowerer.low

@@ -12,19 +12,35 @@ from repro.ir.ops import op_info
 
 
 class Instruction:
-    """One SSA instruction: ``%id = op(args) : degree [attr]``."""
+    """One SSA instruction: ``%id = op(args) : degree [attr] [lane]``.
 
-    __slots__ = ("op", "args", "degree", "attr")
+    ``lane`` partitions a batched kernel into independent work streams: the
+    per-pair line evaluations of a multi-pairing carry their pair index, while
+    the shared accumulator/final-exponentiation work stays on lane ``None``.
+    The multi-core scheduler (:mod:`repro.sim.cycle`) distributes lanes across
+    :attr:`~repro.hw.model.HardwareModel.n_cores`; single-pairing kernels are
+    entirely lane-``None`` and unaffected.
+    """
 
-    def __init__(self, op: str, args: tuple, degree: int = 1, attr=None):
+    __slots__ = ("op", "args", "degree", "attr", "lane")
+
+    def __init__(self, op: str, args: tuple, degree: int = 1, attr=None, lane=None):
         self.op = op
         self.args = args
         self.degree = degree
         self.attr = attr
+        self.lane = lane
+
+    def __getstate__(self):
+        return (self.op, self.args, self.degree, self.attr, self.lane)
+
+    def __setstate__(self, state):
+        self.op, self.args, self.degree, self.attr, self.lane = state
 
     def __repr__(self) -> str:
         attr = f" attr={self.attr!r}" if self.attr is not None else ""
-        return f"{self.op}({', '.join(map(str, self.args))}) : fp{self.degree}{attr}"
+        lane = f" lane={self.lane}" if self.lane is not None else ""
+        return f"{self.op}({', '.join(map(str, self.args))}) : fp{self.degree}{attr}{lane}"
 
 
 class IRModule:
@@ -36,10 +52,12 @@ class IRModule:
         self.instructions: list = []
         self.inputs: list = []             # instruction ids of input ops
         self.outputs: list = []            # instruction ids of output ops
+        #: Lane stamped on emitted instructions (``None`` = shared work).
+        self.current_lane = None
 
     # -- construction ------------------------------------------------------------
     def emit(self, op: str, args: tuple = (), degree: int = 1, attr=None) -> int:
-        instr = Instruction(op, tuple(args), degree, attr)
+        instr = Instruction(op, tuple(args), degree, attr, lane=self.current_lane)
         self.instructions.append(instr)
         vid = len(self.instructions) - 1
         if op == "input":
@@ -55,6 +73,16 @@ class IRModule:
         return iter(self.instructions)
 
     # -- inspection --------------------------------------------------------------
+    def lane_histogram(self) -> dict:
+        """Compute-op counts per lane (``None`` = shared accumulator work)."""
+        histogram: dict = {}
+        skip = ("const", "input", "output")
+        for instr in self.instructions:
+            if instr.op in skip:
+                continue
+            histogram[instr.lane] = histogram.get(instr.lane, 0) + 1
+        return histogram
+
     def op_histogram(self) -> dict:
         histogram: dict = {}
         for instr in self.instructions:

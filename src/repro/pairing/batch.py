@@ -86,8 +86,15 @@ class G2Precomputation:
 # Per-pair line sources
 # ---------------------------------------------------------------------------
 
-class _LiveSource:
-    """Walks the Miller loop for one (P, Q) pair, producing placed lines."""
+class LiveSource:
+    """Walks the Miller loop for one (P, Q) pair, producing placed lines.
+
+    The arithmetic is written against the generic element interface, so a
+    ``LiveSource`` works both on concrete field elements (the software batched
+    pairing) and on the compiler's :class:`~repro.ir.builder.TraceElement`
+    values (the batched accelerator kernel of
+    :func:`repro.compiler.codegen.generate_multi_pairing_ir`).
+    """
 
     def __init__(self, ctx, P, Q):
         self._ctx = ctx
@@ -121,6 +128,9 @@ class _LiveSource:
         self._t, coeffs = add_step_coeffs(self._t, q_n)
         return self._emit("add", coeffs)
 
+    def finish(self):
+        """Live sources have no replay stream to reconcile."""
+
 
 class _PrecomputedSource:
     """Replays a :class:`G2Precomputation` against one G1 point."""
@@ -153,6 +163,19 @@ class _PrecomputedSource:
 
     def frobenius_add(self, n: int):
         return self._emit("add")
+
+    def finish(self):
+        """Every precomputed step must have been consumed by the loop.
+
+        Leftover steps mean the replay stream and the Miller loop walked
+        different schedules (e.g. a hand-built or corrupted precomputation):
+        the product would be silently wrong, so fail loudly instead.
+        """
+        if self._cursor != len(self._steps):
+            raise PairingError(
+                f"precomputation desynchronised: {len(self._steps) - self._cursor} "
+                "unconsumed step(s) after the Miller loop"
+            )
 
 
 # ---------------------------------------------------------------------------
@@ -191,6 +214,44 @@ def precompute_g2(curve, Q, use_naf: bool = True) -> G2Precomputation:
 # The batched pairing
 # ---------------------------------------------------------------------------
 
+def batched_miller_loop(ctx, sources, use_naf: bool = True):
+    """The fused Miller loop: one shared accumulator over many line sources.
+
+    ``F <- F^2 * Pi_i line_i`` per iteration -- the accumulator squaring, the
+    sign conjugation and the BN Frobenius tail are shared; each source only
+    contributes its line evaluations.  Written once against the generic element
+    interface: with a :class:`~repro.pairing.context.ConcretePairingContext`
+    and concrete sources it computes the golden product (pre final
+    exponentiation); with the compiler's tracing context and lane-scoped
+    sources it records the batched accelerator kernel.  This is the same
+    lock-step mechanism :mod:`repro.pairing.miller` uses for single pairings.
+    """
+    digits = _loop_digits(ctx, use_naf)
+    f = ctx.full_one()
+    for digit in reversed(digits[:-1]):
+        f = f.square()
+        for source in sources:
+            f = f * source.double()
+        if digit:
+            for source in sources:
+                f = f * source.add(digit)
+
+    if ctx.loop_scalar < 0:
+        # Pi conj(f_i) = conj(Pi f_i): one shared conjugation.
+        f = f.conjugate()
+        for source in sources:
+            source.negate()
+
+    if ctx.family == "BN":
+        for n in (1, 2):
+            for source in sources:
+                f = f * source.frobenius_add(n)
+
+    for source in sources:
+        source.finish()
+    return f
+
+
 def _make_sources(ctx, curve, pairs, use_naf: bool) -> list:
     sources = []
     for index, pair in enumerate(pairs):
@@ -216,7 +277,7 @@ def _make_sources(ctx, curve, pairs, use_naf: bool) -> list:
         q_affine = as_affine_pair(Q, role=f"pairs[{index}].Q (G2 point)")
         if p_affine is None or q_affine is None:
             continue
-        sources.append(_LiveSource(ctx, p_affine, q_affine))
+        sources.append(LiveSource(ctx, p_affine, q_affine))
     return sources
 
 
@@ -226,32 +287,23 @@ def multi_pairing(curve, pairs, use_naf: bool = True):
     Equivalent to the product of :func:`repro.pairing.ate.optimal_ate_pairing`
     over ``pairs``, but with one accumulator squaring per loop iteration and a
     single final exponentiation.  ``Q_i`` entries may be
-    :class:`G2Precomputation` objects from :func:`precompute_g2`.
+    :class:`G2Precomputation` objects from :func:`precompute_g2`.  An empty
+    product, and pairs whose ``P`` or ``Q`` is the point at infinity, yield the
+    G_T identity -- exactly as ``optimal_ate_pairing`` treats infinity.
     """
+    try:
+        pairs = list(pairs)
+    except TypeError as exc:
+        raise PairingError(
+            f"pairs must be an iterable of (P, Q) pairs, got {type(pairs).__name__}"
+        ) from exc
     ctx = ConcretePairingContext(curve)
-    digits = _loop_digits(ctx, use_naf)
+    _loop_digits(ctx, use_naf)              # validate the loop scalar up front
     sources = _make_sources(ctx, curve, pairs, use_naf)
     if not sources:
+        # Empty product (no pairs, or every pair degenerate): the GT identity,
+        # consistent with optimal_ate_pairing on the point at infinity.
         return curve.tower.full_field.one()
 
-    f = ctx.full_one()
-    for digit in reversed(digits[:-1]):
-        f = f.square()
-        for source in sources:
-            f = f * source.double()
-        if digit:
-            for source in sources:
-                f = f * source.add(digit)
-
-    if ctx.loop_scalar < 0:
-        # Pi conj(f_i) = conj(Pi f_i): one shared conjugation.
-        f = f.conjugate()
-        for source in sources:
-            source.negate()
-
-    if ctx.family == "BN":
-        for n in (1, 2):
-            for source in sources:
-                f = f * source.frobenius_add(n)
-
+    f = batched_miller_loop(ctx, sources, use_naf=use_naf)
     return final_exponentiation(ctx, f)

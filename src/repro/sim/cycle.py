@@ -10,6 +10,20 @@ earlier write to the same register bank (the conflict of Figure 7).
 The same simulator therefore scores the unscheduled baseline ("Init." rows /
 "before" of Figure 9) and the scheduled program: the schedule determines the
 issue order and packing, the simulator determines the cycles.
+
+Multi-core batched kernels
+--------------------------
+:meth:`CycleAccurateSimulator.run_multicore` extends the model to the
+``n_cores`` dimension of the hardware abstraction for *batched* kernels
+(:func:`repro.compiler.codegen.generate_multi_pairing_ir`): the independent
+per-pair line evaluations carry a batch *lane* tag, lanes are distributed
+across replicated cores by a deterministic longest-processing-time list
+schedule (:func:`assign_lanes_to_cores`), and every core is simulated as its
+own in-order pipeline with the full unit/write-back constraints while operand
+readiness is tracked globally (a consumer on one core waits for the producing
+core's write-back).  The schedule and the simulation are pure functions of the
+scheduled program and the core count, so the statistics are bit-identical for
+any enumeration order of the lanes.
 """
 
 from __future__ import annotations
@@ -17,6 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.compiler.schedule import ScheduledProgram, unit_of
+from repro.errors import SimulationError
 from repro.hw.model import HardwareModel
 from repro.sim.trace import BUBBLE, INV, LONG, SHORT, IssueTrace
 
@@ -45,6 +60,88 @@ class CycleStats:
             "writeback_stalls": self.writeback_stalls,
             "structural_stalls": self.structural_stalls,
         }
+
+
+@dataclass
+class MultiCoreStats:
+    """Output of one multi-core batched simulation."""
+
+    total_cycles: int
+    n_cores: int
+    instructions: int
+    stall_cycles: int
+    data_stalls: int
+    writeback_stalls: int
+    structural_stalls: int
+    per_core_cycles: list              # finish cycle of each core's last result
+    per_core_instructions: list
+    lane_assignment: dict              # lane (None = shared) -> core index
+
+    @property
+    def ipc(self) -> float:
+        if not self.total_cycles:
+            return 0.0
+        return self.instructions / self.total_cycles
+
+    @classmethod
+    def from_single_core(cls, stats: "CycleStats", lane_assignment: dict) -> "MultiCoreStats":
+        """Degenerate one-core stats derived from a classic simulation.
+
+        On one core the multi-core model reduces to :meth:`CycleAccurateSimulator.run`
+        (exactly so for single-issue models, and ``run`` is the more faithful
+        simulation of a VLIW-packed schedule), so a redundant second
+        simulation can be skipped and the classic result re-labelled.
+        """
+        return cls(
+            total_cycles=stats.total_cycles,
+            n_cores=1,
+            instructions=stats.instructions,
+            stall_cycles=stats.stall_cycles,
+            data_stalls=stats.data_stalls,
+            writeback_stalls=stats.writeback_stalls,
+            structural_stalls=stats.structural_stalls,
+            per_core_cycles=[stats.total_cycles],
+            per_core_instructions=[stats.instructions],
+            lane_assignment=lane_assignment,
+        )
+
+    def describe(self) -> dict:
+        return {
+            "cycles": self.total_cycles,
+            "n_cores": self.n_cores,
+            "instructions": self.instructions,
+            "ipc": round(self.ipc, 4),
+            "stall_cycles": self.stall_cycles,
+            "per_core_cycles": list(self.per_core_cycles),
+            "per_core_instructions": list(self.per_core_instructions),
+        }
+
+
+def assign_lanes_to_cores(lane_costs: dict, n_cores: int) -> dict:
+    """Deterministic LPT list-schedule of batch lanes onto replicated cores.
+
+    ``lane_costs`` maps each lane to its instruction count (the throughput
+    proxy on an in-order core).  The shared lane ``None`` -- accumulator
+    squarings, product updates and the final exponentiation -- is pinned to
+    core 0; the remaining lanes are taken longest-first (ties broken by lane
+    id) and placed on the least-loaded core (ties broken by core index).  The
+    result is a pure function of the *contents* of ``lane_costs``: iteration
+    order, dict insertion order or any worker enumeration order cannot change
+    the assignment, which is what makes multi-core cycle counts reproducible.
+    """
+    if n_cores < 1:
+        raise SimulationError("core count must be positive")
+    assignment = {None: 0}
+    loads = [0] * n_cores
+    loads[0] += lane_costs.get(None, 0)
+    for lane in sorted(
+        (lane for lane in lane_costs if lane is not None),
+        key=lambda lane: (-lane_costs[lane], lane),
+    ):
+        core = min(range(n_cores), key=lambda index: (loads[index], index))
+        assignment[lane] = core
+        loads[core] += lane_costs[lane]
+    return assignment
 
 
 class CycleAccurateSimulator:
@@ -153,4 +250,154 @@ class CycleAccurateSimulator:
             ipc=ipc,
             trace=IssueTrace(trace_codes) if trace_codes is not None else None,
             per_unit=per_unit,
+        )
+
+    def run_multicore(self, schedule: ScheduledProgram, n_cores: int | None = None) -> MultiCoreStats:
+        """Simulate a batched (lane-tagged) kernel on ``n_cores`` replicated cores.
+
+        Each lane's instruction stream is dispatched to one core by the
+        deterministic list schedule of :func:`assign_lanes_to_cores`; shared
+        work (lane ``None``) runs on core 0.  Every core is an independent
+        in-order pipeline with its own execution units, register banks and
+        write-back port constraints; operand readiness is global, so a shared
+        accumulator update waits for the line evaluation it consumes no matter
+        which core produced it.  With ``n_cores=1`` and a single-issue model
+        this degenerates to exactly the single-core simulation of :meth:`run`
+        -- total cycles and stall counters alike (skipped idle windows are
+        charged one bubble per stalled core per cycle).
+        """
+        hw = self.hw or schedule.hw
+        if n_cores is None:
+            n_cores = hw.n_cores
+        if n_cores < 1:
+            raise SimulationError("core count must be positive")
+        module = schedule.module
+        instructions = module.instructions
+        banks = schedule.banks
+
+        latency_cache = {
+            "long": hw.long_latency,
+            "short": hw.short_latency,
+            "inv": hw.inv_latency,
+            "none": 1,
+        }
+
+        # Flatten the scheduled issue order, then split it per core while
+        # preserving relative order (each core stays in-order).
+        order = [vid for bundle in schedule.bundles for vid in bundle]
+        lane_costs: dict = {}
+        scheduled = [False] * len(instructions)
+        for vid in order:
+            scheduled[vid] = True
+            lane = instructions[vid].lane
+            lane_costs[lane] = lane_costs.get(lane, 0) + 1
+        assignment = assign_lanes_to_cores(lane_costs, n_cores)
+        queues: list = [[] for _ in range(n_cores)]
+        for vid in order:
+            queues[assignment.get(instructions[vid].lane, 0)].append(vid)
+
+        ready: dict = {}                  # vid -> cycle its result is available
+        writeback_busy = set()            # (core, bank, cycle)
+        enforce_wb = not hw.has_writeback_fifo
+
+        heads = [0] * n_cores
+        per_core_issued = [0] * n_cores
+        per_core_finish = [0] * n_cores
+        data_stalls = 0
+        writeback_stalls = 0
+        structural_stalls = 0
+        cycle = 0
+        remaining = len(order)
+
+        while remaining > 0:
+            issued_this_cycle = 0
+            stall_events = 0
+            next_wakeups = []
+            for core in range(n_cores):
+                queue = queues[core]
+                head = heads[core]
+                if head >= len(queue):
+                    continue
+                units_used = {"long": 0, "short": 0, "inv": 0, "none": 0}
+                slots = 0
+                stalled = None
+                while head < len(queue) and slots < hw.issue_width:
+                    vid = queue[head]
+                    instr = instructions[vid]
+                    unit = unit_of(instr.op)
+                    if units_used[unit] + 1 > hw.units_of_kind(unit):
+                        stalled = "structural"
+                        break
+                    operand_wait = 0
+                    unissued_producer = False
+                    for arg in instr.args:
+                        arg_ready = ready.get(arg)
+                        if arg_ready is None:
+                            # Inputs/constants are preloaded (always ready); a
+                            # *scheduled* producer still queued on another core
+                            # has no write-back time yet -- wait for it.
+                            if scheduled[arg]:
+                                unissued_producer = True
+                                break
+                        elif arg_ready > cycle:
+                            operand_wait = max(operand_wait, arg_ready)
+                    if unissued_producer:
+                        stalled = "data"
+                        break
+                    if operand_wait:
+                        stalled = "data"
+                        next_wakeups.append(operand_wait)
+                        break
+                    finish = cycle + latency_cache[unit]
+                    if enforce_wb and (core, banks[vid], finish) in writeback_busy:
+                        stalled = "writeback"
+                        break
+                    # Issue.
+                    ready[vid] = finish
+                    if enforce_wb:
+                        writeback_busy.add((core, banks[vid], finish))
+                    units_used[unit] += 1
+                    per_core_issued[core] += 1
+                    per_core_finish[core] = max(per_core_finish[core], finish)
+                    head += 1
+                    slots += 1
+                if slots:
+                    issued_this_cycle += slots
+                elif stalled == "data":
+                    stall_events += 1
+                    data_stalls += 1
+                elif stalled == "writeback":
+                    stall_events += 1
+                    writeback_stalls += 1
+                elif stalled == "structural":
+                    stall_events += 1
+                    structural_stalls += 1
+                heads[core] = head
+                remaining -= slots
+            if issued_this_cycle:
+                cycle += 1
+            elif next_wakeups and len(next_wakeups) == stall_events:
+                # Every stalled core is waiting on a known in-flight write-back
+                # (no write-back/structural/unissued-producer blocks, which can
+                # clear earlier): jump straight to the earliest one, charging
+                # each stalled core one data-stall bubble per skipped cycle so
+                # the counters equal a cycle-by-cycle walk.
+                target = min(next_wakeups)
+                data_stalls += (target - (cycle + 1)) * stall_events
+                cycle = target
+            else:
+                cycle += 1
+
+        total_cycles = max([cycle] + per_core_finish)
+        return MultiCoreStats(
+            total_cycles=total_cycles,
+            n_cores=n_cores,
+            instructions=sum(per_core_issued),
+            stall_cycles=data_stalls + writeback_stalls + structural_stalls,
+            data_stalls=data_stalls,
+            writeback_stalls=writeback_stalls,
+            structural_stalls=structural_stalls,
+            per_core_cycles=per_core_finish,
+            per_core_instructions=per_core_issued,
+            lane_assignment=assignment,
         )

@@ -145,6 +145,69 @@ def test_multi_pairing_rejects_malformed_pairs(toy_bn, rng):
         multi_pairing(toy_bn, [(P, "not a point")])
 
 
+def test_multi_pairing_rejects_non_iterable_pairs(toy_bn):
+    with pytest.raises(PairingError):
+        multi_pairing(toy_bn, 42)
+    with pytest.raises(PairingError):
+        multi_pairing(toy_bn, None)
+
+
+def test_multi_pairing_accepts_generators(toy_bn):
+    pairs = _random_pairs(toy_bn, 2, seed=151)
+    expected = _pairing_product(toy_bn, pairs)
+    assert multi_pairing(toy_bn, (pair for pair in pairs)) == expected
+
+
+def test_all_degenerate_pairs_give_identity(toy_bn, rng):
+    inf1 = toy_bn.curve.infinity()
+    inf2 = toy_bn.twist_curve.infinity()
+    Q = toy_bn.random_g2(rng)
+    P = toy_bn.random_g1(rng)
+    assert multi_pairing(toy_bn, [(inf1, Q), (P, inf2), (inf1, inf2)]).is_one()
+
+
+def test_infinity_p_against_precomputation_is_skipped(toy_bn, rng):
+    """A degenerate pair must not consume (or desync) a precomputed stream."""
+    Q = toy_bn.random_g2(rng)
+    P = toy_bn.random_g1(rng)
+    pre = precompute_g2(toy_bn, Q)
+    expected = optimal_ate_pairing(toy_bn, P, Q)
+    inf1 = toy_bn.curve.infinity()
+    assert multi_pairing(toy_bn, [(inf1, pre)]).is_one()
+    assert multi_pairing(toy_bn, [(P, pre), (inf1, pre)]) == expected
+
+
+def test_digit_form_mismatch_raises_in_both_directions(toy_bn, rng):
+    """use_naf=True precomp in a use_naf=False call and vice versa: clear error."""
+    Q = toy_bn.random_g2(rng)
+    P = toy_bn.random_g1(rng)
+    pre_naf = precompute_g2(toy_bn, Q, use_naf=True)
+    pre_bin = precompute_g2(toy_bn, Q, use_naf=False)
+    with pytest.raises(PairingError):
+        multi_pairing(toy_bn, [(P, pre_naf)], use_naf=False)
+    with pytest.raises(PairingError):
+        multi_pairing(toy_bn, [(P, pre_bin)], use_naf=True)
+    # The mismatch is detected at entry even when another pair would fail
+    # later, and the matching digit form still works.
+    assert multi_pairing(toy_bn, [(P, pre_bin)], use_naf=False) == \
+        optimal_ate_pairing(toy_bn, P, Q)
+
+
+def test_desynchronised_precomputation_fails_loudly(toy_bn, rng):
+    """Leftover or missing replay steps raise instead of a silently wrong product."""
+    Q = toy_bn.random_g2(rng)
+    P = toy_bn.random_g1(rng)
+    pre = precompute_g2(toy_bn, Q)
+    truncated = G2Precomputation(curve_name=pre.curve_name, use_naf=pre.use_naf,
+                                 steps=pre.steps[:-1])
+    with pytest.raises(PairingError):
+        multi_pairing(toy_bn, [(P, truncated)])
+    padded = G2Precomputation(curve_name=pre.curve_name, use_naf=pre.use_naf,
+                              steps=pre.steps + [pre.steps[-1]])
+    with pytest.raises(PairingError):
+        multi_pairing(toy_bn, [(P, padded)])
+
+
 def test_optimal_ate_pairing_rejects_malformed_tuples(toy_bn, rng):
     """The satellite fix: arity errors surface as PairingError, not deep failures."""
     P = toy_bn.random_g1(rng)

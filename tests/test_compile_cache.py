@@ -115,6 +115,26 @@ def test_compile_pairing_use_cache_false_bypasses_stats(toy_bn, hw1_small):
     assert after == before
 
 
+def test_disk_counters_present_without_a_store(toy_bn, hw1_small):
+    """No ArtifactStore configured: stats["disk"] reports zeroed counters.
+
+    Runner summaries and --assert-warm scripts index the ``disk`` key
+    unconditionally; a cold configuration must yield zeros, not a KeyError.
+    """
+    from repro.compiler.store import active_store, configure_store
+
+    configure_store(None)
+    assert active_store() is None
+    clear_caches()
+    compile_pairing(toy_bn, hw=hw1_small)
+    stats = compile_cache_stats()
+    # Full StoreStats.snapshot() key set, all zeroed: code indexing any
+    # counter behaves identically on cold and warm configurations.
+    for counter in ("hits", "misses", "stores", "corrupt", "evictions", "errors"):
+        assert stats["disk"][counter] == 0
+    assert stats["disk"]["hit_rate"] == 0.0
+
+
 def test_stage_caches_reused_across_hw_models(toy_bn):
     """Different hardware models share codegen/lowering/iropt artefacts."""
     clear_caches()
