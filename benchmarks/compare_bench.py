@@ -85,22 +85,61 @@ def collect_metrics(root: Path) -> tuple[dict, dict]:
 
 
 def compare(baseline: dict, current: dict) -> list:
-    """``(key, old, new, delta)`` for metrics present on both sides."""
+    """``(key, old, new, delta)`` for metrics present on both sides.
+
+    ``delta`` is ``None`` when the baseline value is ``0`` and the current one
+    is not: there is no meaningful relative change from zero, so the row is
+    reported as informational instead of crashing on the division (or failing
+    the guard on an infinite delta).
+    """
     rows = []
     for key in sorted(baseline.keys() & current.keys()):
         old, new = baseline[key], current[key]
-        delta = (new - old) / old if old else (0.0 if new == old else float("inf"))
+        if old:
+            delta = (new - old) / old
+        elif new == old:
+            delta = 0.0
+        else:
+            delta = None               # new value appeared from a 0 baseline
         rows.append((key, old, new, delta))
     return rows
 
 
+def changed_keys(baseline: dict, current: dict) -> tuple:
+    """``(added, removed)`` metric keys present on only one side.
+
+    Renamed experiments and new benchmark cells must not crash (or silently
+    skew) the guard: one-sided metrics are reported and the comparison
+    continues over the intersection.
+    """
+    added = sorted(current.keys() - baseline.keys())
+    removed = sorted(baseline.keys() - current.keys())
+    return added, removed
+
+
+def _format_delta(delta) -> str:
+    return "n/a (baseline 0)" if delta is None else f"{delta:+.1%}"
+
+
 def render_table(title: str, rows: list, limit: int = 20) -> str:
     lines = [f"### {title}", "", "| metric | baseline | current | delta |", "|---|---:|---:|---:|"]
-    shown = sorted(rows, key=lambda r: abs(r[3]), reverse=True)[:limit]
+    # Undefined deltas (0 baselines) sort first so they are always visible.
+    shown = sorted(rows, key=lambda r: float("inf") if r[3] is None else abs(r[3]),
+                   reverse=True)[:limit]
     for key, old, new, delta in shown:
-        lines.append(f"| `{key}` | {old:g} | {new:g} | {delta:+.1%} |")
+        lines.append(f"| `{key}` | {old:g} | {new:g} | {_format_delta(delta)} |")
     if len(rows) > limit:
         lines.append(f"| _... {len(rows) - limit} more within noise_ | | | |")
+    return "\n".join(lines)
+
+
+def render_changed(added: list, removed: list, limit: int = 20) -> str:
+    lines = ["### Metrics present on one side only (informational)", ""]
+    for label, keys in (("new", added), ("removed", removed)):
+        for key in keys[:limit]:
+            lines.append(f"- {label}: `{key}`")
+        if len(keys) > limit:
+            lines.append(f"- _... {len(keys) - limit} more {label} metrics_")
     return "\n".join(lines)
 
 
@@ -125,11 +164,17 @@ def main(argv=None) -> int:
     else:
         cycle_rows = compare(base_cycles, cur_cycles)
         timing_rows = compare(base_timings, cur_timings)
-        regressions = [r for r in cycle_rows if r[3] > args.threshold]
+        added, removed = changed_keys(base_cycles, cur_cycles)
+        # Only well-defined relative increases fail the guard; 0-baseline
+        # rows (delta None) and one-sided metrics are informational.
+        regressions = [r for r in cycle_rows if r[3] is not None and r[3] > args.threshold]
         if cycle_rows:
             report.append(render_table(
                 f"Cycle counts ({len(cycle_rows)} compared, "
                 f"fail over +{args.threshold:.0%})", cycle_rows))
+            report.append("")
+        if added or removed:
+            report.append(render_changed(added, removed))
             report.append("")
         if timing_rows:
             report.append(render_table(

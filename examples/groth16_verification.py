@@ -46,6 +46,14 @@ def main() -> int:
     assert multi_pairing(curve, [(-A, B), (alpha_g1, beta_pre), (C, delta_pre)]).is_one()
     print("batched verification (multi_pairing, precomputed G2) agrees")
 
+    # Split accumulators -- one independent Miller chain per group, merged
+    # before the final exponentiation -- compute the identical product; this
+    # is the partition the multi-core accelerator kernel runs one-per-core.
+    assert multi_pairing(
+        curve, [(-A, B), (alpha_g1, beta_pre), (C, delta_pre)], accumulators=2
+    ).is_one()
+    print("split-accumulator verification (accumulators=2) agrees")
+
     # A forged proof must fail.
     forged = optimal_ate_pairing(curve, g1.scalar_mul(a + 1), B)
     assert forged != rhs

@@ -26,11 +26,11 @@ from repro.fields.variants import VariantConfig
 from repro.hw.model import HardwareModel
 from repro.hw.presets import default_model, paper_hw1, paper_hw2
 from repro.pairing.ate import optimal_ate_pairing
-from repro.pairing.batch import multi_pairing, precompute_g2
+from repro.pairing.batch import multi_pairing, precompute_g2, split_batched_miller_loop
 from repro.sim.cycle import CycleAccurateSimulator
 from repro.sim.functional import FunctionalSimulator
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "get_curve",
@@ -38,6 +38,7 @@ __all__ = [
     "optimal_ate_pairing",
     "multi_pairing",
     "precompute_g2",
+    "split_batched_miller_loop",
     "CompilerPipeline",
     "compile_pairing",
     "compile_multi_pairing",

@@ -11,7 +11,12 @@ from __future__ import annotations
 
 from repro.errors import CompilerError
 from repro.ir.builder import IRBuilder
-from repro.pairing.batch import LiveSource, batched_miller_loop
+from repro.pairing.batch import (
+    LiveSource,
+    batched_miller_loop,
+    partition_into_groups,
+    split_batched_miller_loop,
+)
 from repro.pairing.context import PairingContext
 from repro.pairing.final_exp import final_exponentiation
 from repro.pairing.miller import miller_loop
@@ -116,9 +121,23 @@ class _LaneScopedSource:
         self._inner.finish()
 
 
+def validate_batch_size(n_pairs) -> int:
+    """Batch sizes must be integral (no bools, no truncating floats) and >= 1."""
+    if isinstance(n_pairs, bool) or not isinstance(n_pairs, int):
+        raise CompilerError(
+            f"batch size must be an integer number of pairs, got {n_pairs!r}"
+        )
+    if n_pairs < 1:
+        raise CompilerError(
+            f"a batched pairing kernel needs at least one pair, got {n_pairs}"
+        )
+    return n_pairs
+
+
 def generate_multi_pairing_ir(curve, n_pairs: int, use_naf: bool = True,
                               include_final_exp: bool = True,
-                              name: str | None = None):
+                              name: str | None = None,
+                              accumulator_groups: int | None = None):
     """Trace the batched pairing-product kernel ``Pi e(P_i, Q_i)`` into IR.
 
     The kernel shares one accumulator squaring per Miller iteration and a
@@ -130,26 +149,73 @@ def generate_multi_pairing_ir(curve, n_pairs: int, use_naf: bool = True,
     multi-core scheduler (:func:`repro.sim.cycle.CycleAccurateSimulator.run_multicore`)
     can dispatch them across :attr:`~repro.hw.model.HardwareModel.n_cores`.
 
+    ``accumulator_groups=g`` traces the *split-accumulator* kernel instead
+    (:func:`repro.pairing.batch.split_batched_miller_loop`): the pairs are
+    partitioned into ``g`` deterministic contiguous groups, each group runs
+    its own complete accumulator chain -- line evaluations, squarings, sign
+    conjugation and BN Frobenius tail -- under that group's lane tag, and only
+    the final cross-group merge product and the final exponentiation stay on
+    the shared lane.  With one group per core the multi-core schedule has no
+    cross-core serialisation until the merge, at the cost of ``g - 1`` extra
+    squaring chains.
+
     Inputs are ``xP{i}``/``yP{i}`` (F_p) and ``xQ{i}``/``yQ{i}`` (twist field)
     for each pair ``i``; the single output is the fused G_T product.
     """
-    n_pairs = int(n_pairs)
-    if n_pairs < 1:
-        raise CompilerError("a batched pairing kernel needs at least one pair")
-    builder = IRBuilder(name or f"multi-pairing-{curve.name}-x{n_pairs}")
+    n_pairs = validate_batch_size(n_pairs)
+    if accumulator_groups is not None and (
+        isinstance(accumulator_groups, bool) or not isinstance(accumulator_groups, int)
+        or accumulator_groups < 1
+    ):
+        raise CompilerError(
+            f"accumulator_groups must be a positive integer, got {accumulator_groups!r}"
+        )
+    split = accumulator_groups is not None and accumulator_groups > 1
+    # accumulator_groups=1 degenerates to the shared kernel; don't let the
+    # module name claim otherwise.
+    suffix = f"-split{accumulator_groups}" if split else ""
+    builder = IRBuilder(name or f"multi-pairing-{curve.name}-x{n_pairs}{suffix}")
+    # The kernel shape rides on the module (and through lowering/IROpt): the
+    # multi-core scheduler assigns split-kernel group lanes differently from
+    # shared-kernel line lanes (the shared lane is a pure merge tail there).
+    builder.module.meta.update(
+        kernel="multi_pairing",
+        n_pairs=n_pairs,
+        split_accumulators=split,
+        accumulator_groups=accumulator_groups if split else 1,
+    )
     ctx = TracingPairingContext(curve, builder)
 
-    sources = []
-    for i in range(n_pairs):
-        with builder.lane(i):
-            x_p = builder.input(curve.tower.fp, f"xP{i}")
-            y_p = builder.input(curve.tower.fp, f"yP{i}")
-            x_q = builder.input(curve.tower.twist_field, f"xQ{i}")
-            y_q = builder.input(curve.tower.twist_field, f"yQ{i}")
-            inner = LiveSource(ctx, (x_p, y_p), (x_q, y_q))
-        sources.append(_LaneScopedSource(builder, i, inner))
-
-    f = batched_miller_loop(ctx, sources, use_naf=use_naf)
+    if accumulator_groups is None or accumulator_groups == 1:
+        sources = []
+        for i in range(n_pairs):
+            with builder.lane(i):
+                x_p = builder.input(curve.tower.fp, f"xP{i}")
+                y_p = builder.input(curve.tower.fp, f"yP{i}")
+                x_q = builder.input(curve.tower.twist_field, f"xQ{i}")
+                y_q = builder.input(curve.tower.twist_field, f"yQ{i}")
+                inner = LiveSource(ctx, (x_p, y_p), (x_q, y_q))
+            sources.append(_LaneScopedSource(builder, i, inner))
+        f = batched_miller_loop(ctx, sources, use_naf=use_naf)
+    else:
+        # Split mode: the pair -> group map comes from the same
+        # partition_into_groups the software split accumulator uses, so the
+        # compiled kernel reproduces the software grouping exactly.  A pair's
+        # inputs and point walk live on its *group's* lane; the group chain
+        # work is stamped by split_batched_miller_loop through the
+        # group_scope hook.
+        index_groups = partition_into_groups(range(n_pairs), accumulator_groups)
+        sources = [None] * n_pairs
+        for group, members in enumerate(index_groups):
+            for i in members:
+                with builder.lane(group):
+                    x_p = builder.input(curve.tower.fp, f"xP{i}")
+                    y_p = builder.input(curve.tower.fp, f"yP{i}")
+                    x_q = builder.input(curve.tower.twist_field, f"xQ{i}")
+                    y_q = builder.input(curve.tower.twist_field, f"yQ{i}")
+                    sources[i] = LiveSource(ctx, (x_p, y_p), (x_q, y_q))
+        f = split_batched_miller_loop(ctx, sources, accumulator_groups,
+                                      use_naf=use_naf, group_scope=builder.lane)
     if include_final_exp:
         f = final_exponentiation(ctx, f)
     builder.output(f, "result")

@@ -38,6 +38,7 @@ class OptStats:
 def _rebuild(module: IRModule, transform) -> IRModule:
     """Generic single-sweep rebuild; ``transform`` maps (new_module, instr, new_args) -> new vid."""
     new = IRModule(name=module.name, level=module.level)
+    new.meta = dict(getattr(module, "meta", {}) or {})
     remap = [0] * len(module.instructions)
     for vid, instr in enumerate(module.instructions):
         new_args = tuple(remap[a] for a in instr.args)
@@ -197,9 +198,14 @@ def global_value_numbering(module: IRModule, p: int) -> IRModule:
             key = (op, ordered, instr.attr)
         hit = table.get(key)
         if hit is not None:
-            # A value shared by two different lanes is no longer per-pair work;
-            # demote it to the shared lane so the multi-core partition stays
-            # honest (the dependence tracking keeps it correct either way).
+            # A value shared by two different lanes is no longer private work:
+            # whether the lanes are per-pair line streams (shared-accumulator
+            # kernels) or whole accumulator groups (split kernels), a
+            # cross-lane/cross-group GVN merge is demoted to the shared lane
+            # so the multi-core partition stays honest -- the value now feeds
+            # two cores, and keeping it on either one would hide that
+            # dependence from the LPT load model (the dependence tracking
+            # keeps the *simulation* correct either way).
             if new.instructions[hit].lane != instr.lane:
                 new.instructions[hit].lane = None
             return hit
@@ -223,6 +229,7 @@ def dead_code_elimination(module: IRModule) -> IRModule:
             live[arg] = True
 
     new = IRModule(name=module.name, level=module.level)
+    new.meta = dict(getattr(module, "meta", {}) or {})
     remap = [0] * len(module.instructions)
     for vid, instr in enumerate(module.instructions):
         if not live[vid]:

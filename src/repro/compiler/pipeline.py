@@ -15,7 +15,11 @@ from dataclasses import dataclass, field
 from repro.compiler.asm import assemble
 from repro.compiler.bankalloc import allocate_banks
 from repro.compiler.cache import CompileCache
-from repro.compiler.codegen import generate_multi_pairing_ir, generate_pairing_ir
+from repro.compiler.codegen import (
+    generate_multi_pairing_ir,
+    generate_pairing_ir,
+    validate_batch_size,
+)
 from repro.compiler.store import StoreStats, active_store
 from repro.compiler.opt import OptStats, optimize
 from repro.compiler.regalloc import allocate_registers
@@ -124,6 +128,12 @@ class MultiPairingCompileResult:
     registers_per_bank: dict
     total_registers: int
     program: object | None
+    #: Split-accumulator mode: one independent Miller chain per core, merged
+    #: once before the final exponentiation (False = the shared-accumulator
+    #: kernel of PR 3).
+    split_accumulators: bool = False
+    #: Number of independent accumulator chains in the kernel (1 = shared).
+    accumulator_groups: int = 1
     stage_seconds: dict = field(default_factory=dict)
 
     @property
@@ -160,6 +170,8 @@ class MultiPairingCompileResult:
             "curve": self.curve_name,
             "kernel": "multi_pairing",
             "n_pairs": self.n_pairs,
+            "accumulators": "split" if self.split_accumulators else "shared",
+            "accumulator_groups": self.accumulator_groups,
             "n_cores": self.multicore_stats.n_cores,
             "hw": self.hw.name,
             "variants": self.variant_config.name,
@@ -181,6 +193,9 @@ class CompilerPipeline:
     compiles the batched multi-pairing kernel of that size through the *same*
     stage sequence (plus the multi-core simulation) and returns a
     :class:`MultiPairingCompileResult` instead of a :class:`CompileResult`.
+    ``split_accumulators=True`` (batched kernels only) traces one independent
+    Miller accumulator chain per hardware core instead of the single shared
+    chain -- the kernel itself then depends on ``hw.n_cores``.
     """
 
     def __init__(
@@ -193,6 +208,7 @@ class CompilerPipeline:
         do_assemble: bool = True,
         record_trace: bool = False,
         n_pairs: int | None = None,
+        split_accumulators: bool = False,
     ):
         self.hw = hw
         self.variant_config = variant_config or VariantConfig.all_karatsuba()
@@ -202,11 +218,26 @@ class CompilerPipeline:
         self.do_assemble = do_assemble
         self.record_trace = record_trace
         self.n_pairs = n_pairs
+        if split_accumulators and n_pairs is None:
+            raise CompilerError(
+                "split_accumulators applies to batched kernels only (set n_pairs)"
+            )
+        self.split_accumulators = bool(split_accumulators)
 
     # -- individual stages -----------------------------------------------------------
+    def _accumulator_groups(self, hw: HardwareModel) -> int | None:
+        """Group count of the traced kernel (None = shared-accumulator mode)."""
+        if self.n_pairs is None or not self.split_accumulators:
+            return None
+        return hw.n_cores
+
     def run_codegen(self, curve):
         if self.n_pairs is not None:
-            return generate_multi_pairing_ir(curve, self.n_pairs, use_naf=self.use_naf)
+            hw = (self.hw or default_model(curve.params.p.bit_length())).validate()
+            return generate_multi_pairing_ir(
+                curve, self.n_pairs, use_naf=self.use_naf,
+                accumulator_groups=self._accumulator_groups(hw),
+            )
         return generate_pairing_ir(curve, use_naf=self.use_naf)
 
     def run_lowering(self, curve, hl_module):
@@ -220,21 +251,23 @@ class CompilerPipeline:
                 "baseline (program-order) timing is only supported for the "
                 "single-pairing kernel"
             )
+        groups = self._accumulator_groups(hw)
         timings: dict = {}
 
         start = time.perf_counter()
-        hl_module = _cached_hl_module(curve, self.use_naf, n_pairs)
+        hl_module = _cached_hl_module(curve, self.use_naf, n_pairs, groups)
         timings["codegen"] = time.perf_counter() - start
 
         start = time.perf_counter()
-        low_module = _cached_low_module(curve, self.variant_config, self.use_naf, n_pairs)
+        low_module = _cached_low_module(curve, self.variant_config, self.use_naf,
+                                        n_pairs, groups)
         timings["lowering"] = time.perf_counter() - start
 
         initial_instructions = low_module.count_compute_ops()
         start = time.perf_counter()
         if self.optimize_ir:
             optimized_module, opt_stats = _cached_optimized(
-                curve, self.variant_config, self.use_naf, n_pairs
+                curve, self.variant_config, self.use_naf, n_pairs, groups
             )
         else:
             optimized_module, opt_stats = low_module, OptStats(
@@ -274,6 +307,8 @@ class CompilerPipeline:
         if self.do_assemble:
             start = time.perf_counter()
             suffix = "" if n_pairs is None else f"-x{n_pairs}"
+            if groups is not None and groups > 1:
+                suffix += f"-split{groups}"
             program = assemble(schedule, allocation, name=f"{curve.name}{suffix}-{hw.name}")
             timings["asm+link"] = time.perf_counter() - start
 
@@ -304,7 +339,10 @@ class CompilerPipeline:
         )
         if n_pairs is not None:
             return MultiPairingCompileResult(
-                n_pairs=n_pairs, multicore_stats=multicore_stats, **common
+                n_pairs=n_pairs, multicore_stats=multicore_stats,
+                split_accumulators=self.split_accumulators,
+                accumulator_groups=groups if groups is not None else 1,
+                **common,
             )
         return CompileResult(baseline_cycle_stats=baseline_stats, **common)
 
@@ -321,39 +359,44 @@ _RESULT_CACHE = CompileCache("result")
 
 # Batched-kernel (``n_pairs`` set) stage keys share the same instrumented
 # caches, namespaced by a leading marker so they can never collide with the
-# single-pairing tuples.
+# single-pairing tuples.  ``groups`` is the accumulator-group count of the
+# split-accumulator kernel (None = shared accumulator): split kernels are a
+# *different trace*, so every stage is keyed on it.
 
-def _stage_key(curve, use_naf: bool, n_pairs: int | None, *extra) -> tuple:
+def _stage_key(curve, use_naf: bool, n_pairs: int | None,
+               groups: int | None, *extra) -> tuple:
     if n_pairs is None:
         return (curve.name, use_naf, *extra)
-    return ("multi", curve.name, n_pairs, use_naf, *extra)
+    return ("multi", curve.name, n_pairs, groups, use_naf, *extra)
 
 
-def _cached_hl_module(curve, use_naf: bool, n_pairs: int | None = None):
+def _cached_hl_module(curve, use_naf: bool, n_pairs: int | None = None,
+                      groups: int | None = None):
     def factory():
         if n_pairs is None:
             return generate_pairing_ir(curve, use_naf=use_naf)
-        return generate_multi_pairing_ir(curve, n_pairs, use_naf=use_naf)
+        return generate_multi_pairing_ir(curve, n_pairs, use_naf=use_naf,
+                                         accumulator_groups=groups)
 
-    return _HL_CACHE.get_or_compute(_stage_key(curve, use_naf, n_pairs), factory)
+    return _HL_CACHE.get_or_compute(_stage_key(curve, use_naf, n_pairs, groups), factory)
 
 
 def _cached_low_module(curve, config: VariantConfig, use_naf: bool,
-                       n_pairs: int | None = None):
-    key = _stage_key(curve, use_naf, n_pairs, config.cache_key())
+                       n_pairs: int | None = None, groups: int | None = None):
+    key = _stage_key(curve, use_naf, n_pairs, groups, config.cache_key())
     return _LOW_CACHE.get_or_compute(
         key,
-        lambda: lower_module(_cached_hl_module(curve, use_naf, n_pairs),
+        lambda: lower_module(_cached_hl_module(curve, use_naf, n_pairs, groups),
                              curve.tower.levels, config),
     )
 
 
 def _cached_optimized(curve, config: VariantConfig, use_naf: bool,
-                      n_pairs: int | None = None):
-    key = _stage_key(curve, use_naf, n_pairs, config.cache_key())
+                      n_pairs: int | None = None, groups: int | None = None):
+    key = _stage_key(curve, use_naf, n_pairs, groups, config.cache_key())
     return _OPT_CACHE.get_or_compute(
         key,
-        lambda: optimize(_cached_low_module(curve, config, use_naf, n_pairs),
+        lambda: optimize(_cached_low_module(curve, config, use_naf, n_pairs, groups),
                          curve.params.p),
     )
 
@@ -485,6 +528,7 @@ def compile_multi_pairing(
     use_affinity: bool = True,
     do_assemble: bool = True,
     use_cache: bool = True,
+    split_accumulators: bool = False,
 ) -> MultiPairingCompileResult:
     """Compile the batched pairing-product kernel ``Pi e(P_i, Q_i)`` for ``curve``.
 
@@ -495,12 +539,18 @@ def compile_multi_pairing(
     cores by the deterministic multi-core simulation
     (:meth:`repro.sim.cycle.CycleAccurateSimulator.run_multicore`).  Results
     flow through the same two-tier (memory -> disk) compile cache as
-    :func:`compile_pairing`, with the batch size and core count part of the
-    semantic digest.
+    :func:`compile_pairing`, with the batch size, core count and accumulator
+    mode part of the semantic digest.
+
+    ``split_accumulators=True`` compiles the *split-accumulator* kernel: one
+    independent Miller chain per core (``hw.n_cores`` accumulator groups over
+    contiguous shares of the pairs), merged with ``n_cores - 1`` extension
+    multiplications before the single final exponentiation.  The product is
+    bit-identical; the multi-core schedule no longer serialises the
+    accumulator chain on core 0, trading the extra per-group squaring chains
+    for near-linear Miller-loop scaling.
     """
-    n_pairs = int(n_pairs)
-    if n_pairs < 1:
-        raise CompilerError("a batched pairing kernel needs at least one pair")
+    n_pairs = validate_batch_size(n_pairs)
     variant_config = variant_config or VariantConfig.all_karatsuba()
     hw_resolved = (hw or default_model(curve.params.p.bit_length())).validate()
     key = CompileCache.make_key(
@@ -510,6 +560,7 @@ def compile_multi_pairing(
         kernel="multi_pairing",
         n_pairs=n_pairs,
         n_cores=hw_resolved.n_cores,   # not part of hw.cache_key(); cycles depend on it
+        split_accumulators=bool(split_accumulators),
         optimize_ir=optimize_ir,
         use_naf=use_naf,
         use_affinity=use_affinity,
@@ -523,5 +574,6 @@ def compile_multi_pairing(
         use_affinity=use_affinity,
         do_assemble=do_assemble,
         n_pairs=n_pairs,
+        split_accumulators=split_accumulators,
     )
     return _cached_compile(key, use_cache, lambda: pipeline.compile(curve))

@@ -63,7 +63,12 @@ from dataclasses import dataclass, field, replace
 
 from repro.compiler.pipeline import compile_cache_stats
 from repro.curves.catalog import CURVE_SPECS
-from repro.dse.explorer import evaluate_design_point, resolve_objective
+from repro.dse.explorer import (
+    _resolve_accumulator_policy,
+    evaluate_design_point,
+    resolve_objective,
+    validate_sweep_batch_size,
+)
 from repro.errors import DSEError
 from repro.hw.technology import TECH_40NM, TechnologyNode
 
@@ -138,7 +143,8 @@ def _stats_delta(after: dict, before: dict) -> dict:
     }
 
 
-def _evaluate_chunk(curve_name, chunk, n_cores, technology, do_assemble, batch_size=None):
+def _evaluate_chunk(curve_name, chunk, n_cores, technology, do_assemble, batch_size=None,
+                    split_accumulators="auto"):
     """Worker entry point: evaluate one chunk of (index, point) pairs.
 
     Runs in a separate process; the curve is rebuilt (or found pre-built when
@@ -152,7 +158,8 @@ def _evaluate_chunk(curve_name, chunk, n_cores, technology, do_assemble, batch_s
     before = compile_cache_stats()
     evaluated = [
         (index, evaluate_design_point(curve, point, n_cores, technology, do_assemble,
-                                      batch_size=batch_size))
+                                      batch_size=batch_size,
+                                      split_accumulators=split_accumulators))
         for index, point in chunk
     ]
     return evaluated, _stats_delta(compile_cache_stats(), before)
@@ -170,6 +177,7 @@ class ParallelExplorer:
         chunk_size: int | None = None,
         do_assemble: bool = True,
         batch_size: int | None = None,
+        split_accumulators="auto",
     ):
         self.curve = curve
         self.workers = default_workers() if workers is None else max(1, int(workers))
@@ -177,10 +185,21 @@ class ParallelExplorer:
         self.technology = technology
         self.chunk_size = chunk_size
         self.do_assemble = do_assemble
+        # Fail fast on degenerate sweep configuration: a bad batch size or
+        # accumulator policy should raise here, not halfway through a sharded
+        # sweep inside a worker process.
+        validate_sweep_batch_size(batch_size)
+        _resolve_accumulator_policy(split_accumulators)
         #: When set, rank points on the batched multi-pairing kernel of this
         #: batch size (cycles from the n_cores-core simulation) instead of the
         #: single-pairing kernel.
         self.batch_size = batch_size
+        #: Batched-kernel accumulator policy: "auto" (default) compiles both
+        #: the shared- and split-accumulator kernel per design point and
+        #: scores whichever simulates to fewer cycles; "shared"/"split" (or
+        #: False/True) force one mode.  The winning mode is recorded per
+        #: point in ``DesignMetrics.accumulator_mode``.
+        self.split_accumulators = split_accumulators
         #: Metrics of the last sweep, in submission order (mirrors the points list).
         self.evaluated: list = []
         self.last_report: ExplorationReport | None = None
@@ -240,7 +259,8 @@ class ParallelExplorer:
     def _evaluate_sequential(self, points) -> list:
         return [
             evaluate_design_point(self.curve, point, self.n_cores, self.technology,
-                                  self.do_assemble, batch_size=self.batch_size)
+                                  self.do_assemble, batch_size=self.batch_size,
+                                  split_accumulators=self.split_accumulators)
             for point in points
         ]
 
@@ -269,6 +289,7 @@ class ParallelExplorer:
                 [self.technology] * len(chunks),
                 [self.do_assemble] * len(chunks),
                 [self.batch_size] * len(chunks),
+                [self.split_accumulators] * len(chunks),
             ):
                 for index, metrics in evaluated:
                     slots[index] = metrics

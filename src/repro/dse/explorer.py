@@ -26,7 +26,11 @@ class DesignMetrics:
     evaluations (``batch_size`` on the explorer) ``cycles`` is the latency of
     the whole fused batch on the point's core count and
     ``cycles_per_pairing`` the amortised per-pairing cost the ranking cares
-    about.
+    about.  ``accumulator_mode`` records which batched kernel scored the
+    point: ``"shared"`` (one fused chain) or ``"split"`` (one chain per core,
+    merged before the final exponentiation); under the default ``"auto"``
+    policy it is whichever of the two simulated to fewer cycles for this
+    design point.
     """
 
     label: str
@@ -42,6 +46,7 @@ class DesignMetrics:
     registers: int
     batch: int = 1
     cycles_per_pairing: float = 0.0
+    accumulator_mode: str = "shared"
 
     def describe(self) -> dict:
         return {
@@ -57,6 +62,7 @@ class DesignMetrics:
             "throughput_per_mm2": round(self.throughput_per_mm2, 2),
             "batch": self.batch,
             "cycles_per_pairing": round(self.cycles_per_pairing or self.cycles, 1),
+            "accumulator_mode": self.accumulator_mode,
         }
 
 
@@ -79,6 +85,42 @@ def resolve_objective(objective):
         raise DSEError(f"unknown objective {objective!r}") from exc
 
 
+#: Accepted values of the ``split_accumulators`` evaluation policy.
+ACCUMULATOR_POLICIES = ("auto", "shared", "split")
+
+
+def validate_sweep_batch_size(batch_size):
+    """``None`` (single-pairing kernel) or a positive integer; bools and
+    truncating floats are caller bugs and raise ``ValueError`` at entry."""
+    if batch_size is not None and (
+        isinstance(batch_size, bool) or not isinstance(batch_size, int)
+        or batch_size < 1
+    ):
+        raise ValueError(
+            f"batch_size must be a positive integer (or None for the "
+            f"single-pairing kernel), got {batch_size!r}"
+        )
+    return batch_size
+
+
+def _resolve_accumulator_policy(split_accumulators) -> str:
+    """Normalise the policy knob: ``"auto"`` / ``"shared"`` / ``"split"``.
+
+    Booleans are accepted as a convenience (``True`` = always split,
+    ``False`` = always shared); anything else raises ``ValueError`` at entry.
+    """
+    if split_accumulators is True:
+        return "split"
+    if split_accumulators is False:
+        return "shared"
+    if split_accumulators in ACCUMULATOR_POLICIES:
+        return split_accumulators
+    raise ValueError(
+        f"split_accumulators must be one of {ACCUMULATOR_POLICIES} or a bool, "
+        f"got {split_accumulators!r}"
+    )
+
+
 def evaluate_design_point(
     curve,
     point: DesignPoint,
@@ -86,6 +128,7 @@ def evaluate_design_point(
     technology: TechnologyNode = TECH_40NM,
     do_assemble: bool = True,
     batch_size: int | None = None,
+    split_accumulators="auto",
 ) -> DesignMetrics:
     """Compile + simulate + price one design point.
 
@@ -94,15 +137,51 @@ def evaluate_design_point(
     per-pair lanes are dispatched across ``n_cores`` by the deterministic
     multi-core simulation, and throughput counts pairings (not batches) per
     second -- the ranking sweeps care about batched-verify throughput.
+
+    ``split_accumulators`` selects the batched kernel's accumulator mode:
+    ``"shared"`` (one fused chain, the PR-3 kernel), ``"split"`` (one chain
+    per core) or ``"auto"`` (the default): compile both and score the point on
+    whichever simulates to fewer cycles, so the co-design sweep itself
+    discovers where the extra squaring chains pay for the removed
+    serialisation.  The chosen mode is recorded in
+    :attr:`DesignMetrics.accumulator_mode`.
+
+    Degenerate inputs fail loudly at entry: a non-positive or non-integral
+    ``batch_size`` or ``n_cores`` raises ``ValueError`` instead of compiling a
+    nonsense kernel or reporting a nonsense throughput.
     """
-    freq = frequency_mhz(point.hw.word_width, point.hw.long_latency, technology)
-    if batch_size is not None:
-        # None is the sentinel for "single-pairing kernel"; an explicit 0 (or
-        # negative) batch is a caller bug and fails in compile_multi_pairing.
-        result = compile_multi_pairing(
-            curve, batch_size, hw=point.hw.with_cores(n_cores),
-            variant_config=point.variant_config, do_assemble=do_assemble,
+    if isinstance(n_cores, bool) or not isinstance(n_cores, int) or n_cores < 1:
+        raise ValueError(
+            f"n_cores must be a positive integer, got {n_cores!r}"
         )
+    # An explicit 0, negative or fractional batch is a caller bug -- refuse it
+    # before it turns into a degenerate kernel or a nonsense throughput figure.
+    validate_sweep_batch_size(batch_size)
+    policy = _resolve_accumulator_policy(split_accumulators)
+    freq = frequency_mhz(point.hw.word_width, point.hw.long_latency, technology)
+    accumulator_mode = "shared"
+    if batch_size is not None:
+        hw_cores = point.hw.with_cores(n_cores)
+        candidates = {}
+        if policy in ("auto", "shared"):
+            candidates["shared"] = compile_multi_pairing(
+                curve, batch_size, hw=hw_cores,
+                variant_config=point.variant_config, do_assemble=do_assemble,
+            )
+        if policy == "split" or (policy == "auto" and n_cores > 1):
+            # On one core the split kernel degenerates to the shared one, so
+            # "auto" skips the redundant compile there.
+            candidates["split"] = compile_multi_pairing(
+                curve, batch_size, hw=hw_cores,
+                variant_config=point.variant_config, do_assemble=do_assemble,
+                split_accumulators=True,
+            )
+        # Rank the modes per design point: fewest batch cycles wins; the
+        # deterministic tie-break prefers the simpler shared kernel.
+        accumulator_mode = min(
+            candidates, key=lambda mode: (candidates[mode].cycles, mode != "shared")
+        )
+        result = candidates[accumulator_mode]
         latency_us = result.cycles / freq
         # The multi-core simulation already models the cores; throughput is
         # pairings per second of one such multi-core accelerator.
@@ -130,6 +209,7 @@ def evaluate_design_point(
         registers=result.total_registers,
         batch=batch_size or 1,
         cycles_per_pairing=cycles_per_pairing,
+        accumulator_mode=accumulator_mode,
     )
 
 

@@ -260,6 +260,10 @@ def lower_module(hl: IRModule, levels: dict, config: VariantConfig | None = None
     """
     config = config or VariantConfig.all_karatsuba()
     lowerer = _Lowerer(levels, config)
+    # Kernel-level facts (accumulator mode, batch shape) ride along with the
+    # lanes: scalarisation changes the instruction granularity, not the
+    # kernel's multi-core structure.
+    lowerer.low.meta = dict(getattr(hl, "meta", {}) or {})
     expansion: list = [None] * len(hl.instructions)
 
     for vid, instr in enumerate(hl.instructions):

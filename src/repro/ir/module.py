@@ -54,6 +54,15 @@ class IRModule:
         self.outputs: list = []            # instruction ids of output ops
         #: Lane stamped on emitted instructions (``None`` = shared work).
         self.current_lane = None
+        #: Kernel-level facts that must survive lowering and every IROpt
+        #: rebuild (each pass copies it alongside the lanes).  The batched
+        #: codegen records the kernel shape here -- most importantly
+        #: ``split_accumulators``/``accumulator_groups``, which tell the
+        #: multi-core scheduler whether the lanes are per-pair line streams
+        #: feeding one shared chain (shared mode) or complete independent
+        #: accumulator groups whose shared lane is a pure merge tail (split
+        #: mode).
+        self.meta: dict = {}
 
     # -- construction ------------------------------------------------------------
     def emit(self, op: str, args: tuple = (), degree: int = 1, attr=None) -> int:

@@ -2,7 +2,14 @@
 and the batched multi-pairing used by pairing-product verifiers."""
 
 from repro.pairing.ate import optimal_ate_pairing
-from repro.pairing.batch import G2Precomputation, multi_pairing, precompute_g2
+from repro.pairing.batch import (
+    G2Precomputation,
+    batched_miller_loop,
+    multi_pairing,
+    partition_into_groups,
+    precompute_g2,
+    split_batched_miller_loop,
+)
 from repro.pairing.context import ConcretePairingContext, PairingContext
 from repro.pairing.exponent import FinalExpPlan, solve_final_exp_plan
 
@@ -10,6 +17,9 @@ __all__ = [
     "optimal_ate_pairing",
     "multi_pairing",
     "precompute_g2",
+    "batched_miller_loop",
+    "split_batched_miller_loop",
+    "partition_into_groups",
     "G2Precomputation",
     "PairingContext",
     "ConcretePairingContext",

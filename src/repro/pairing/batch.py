@@ -21,6 +21,21 @@ Knobs
     :class:`G2Precomputation` (see below).
 ``use_naf``
     Digit representation of the loop scalar, as in ``optimal_ate_pairing``.
+``accumulators``
+    Number of independent Miller accumulator chains.  ``1`` (the default) is
+    the classic fused product above; ``g > 1`` partitions the pairs into ``g``
+    deterministic contiguous groups, runs one full accumulator chain per group
+    (its own squarings, sign conjugation and BN Frobenius tail) and multiplies
+    the per-group results once before the single final exponentiation:
+
+        F = Pi_g F_g,   F_g <- F_g^2 * Pi_{i in g} line_i
+
+    The value is identical -- field multiplication is exact and the grouped
+    product re-associates the same factors -- but the ``g`` chains are
+    *independent*, which is what lets the multi-core accelerator model run one
+    chain per core with no cross-core serialisation except the final merge
+    (the standard multi-pairing trade: ``g - 1`` extra squaring chains for
+    near-linear Miller-loop scaling).
 
 Fixed-Q precomputation
 ----------------------
@@ -35,6 +50,7 @@ be mixed freely with plain points in one product.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 from repro.errors import PairingError
@@ -214,7 +230,80 @@ def precompute_g2(curve, Q, use_naf: bool = True) -> G2Precomputation:
 # The batched pairing
 # ---------------------------------------------------------------------------
 
-def batched_miller_loop(ctx, sources, use_naf: bool = True):
+def validate_accumulator_count(accumulators) -> int:
+    """Check an accumulator-group count at entry; returns it as an ``int``.
+
+    Group counts must be integral (bools are rejected: ``True`` silently
+    meaning "one group" would mask caller bugs) and at least 1.
+    """
+    if isinstance(accumulators, bool) or not isinstance(accumulators, int):
+        raise PairingError(
+            f"accumulator count must be an integer, got {accumulators!r}"
+        )
+    if accumulators < 1:
+        raise PairingError(
+            f"accumulator count must be at least 1, got {accumulators}"
+        )
+    return accumulators
+
+
+def partition_into_groups(items, n_groups: int) -> list:
+    """Deterministic contiguous balanced partition of ``items``.
+
+    The first ``len(items) % n_groups`` groups receive one extra element, so
+    sizes differ by at most one; groups beyond ``len(items)`` are empty.  Both
+    the software split accumulator and the compiled split kernel use this one
+    function, which is what keeps their group membership -- and therefore
+    their bit-exactness by construction -- in lock step.
+    """
+    n_groups = validate_accumulator_count(n_groups)
+    items = list(items)
+    base, extra = divmod(len(items), n_groups)
+    groups = []
+    cursor = 0
+    for g in range(n_groups):
+        size = base + (1 if g < extra else 0)
+        groups.append(items[cursor:cursor + size])
+        cursor += size
+    return groups
+
+
+def split_batched_miller_loop(ctx, sources, n_groups: int, use_naf: bool = True,
+                              group_scope=None):
+    """Split-accumulator Miller loop: one independent chain per group.
+
+    Partitions ``sources`` into ``n_groups`` contiguous groups
+    (:func:`partition_into_groups`), runs the full fused chain of
+    :func:`batched_miller_loop` once per non-empty group -- per-group
+    squarings, sign conjugation and BN Frobenius tail -- and multiplies the
+    per-group accumulators once at the end.  The result equals the shared
+    single-accumulator product exactly (field multiplication is exact; the
+    grouped product re-associates the same line factors), while the group
+    chains share no values and can execute concurrently.
+
+    ``group_scope``, when given, is a context-manager factory called with each
+    group index around that group's chain; the compiler passes
+    ``IRBuilder.lane`` here so every traced group chain carries its
+    accumulator-group tag through lowering and IROpt, and only the final merge
+    (and the caller's final exponentiation) stays on the shared lane.
+    """
+    scope = group_scope if group_scope is not None else (lambda g: nullcontext())
+    partials = []
+    for g, members in enumerate(partition_into_groups(sources, n_groups)):
+        if not members:
+            continue
+        with scope(g):
+            partials.append(batched_miller_loop(ctx, members, use_naf=use_naf))
+    if not partials:
+        return ctx.full_one()
+    # The cross-group merge: g - 1 extension-field multiplications, shared.
+    f = partials[0]
+    for partial in partials[1:]:
+        f = f * partial
+    return f
+
+
+def batched_miller_loop(ctx, sources, use_naf: bool = True, accumulators: int = 1):
     """The fused Miller loop: one shared accumulator over many line sources.
 
     ``F <- F^2 * Pi_i line_i`` per iteration -- the accumulator squaring, the
@@ -225,7 +314,13 @@ def batched_miller_loop(ctx, sources, use_naf: bool = True):
     exponentiation); with the compiler's tracing context and lane-scoped
     sources it records the batched accelerator kernel.  This is the same
     lock-step mechanism :mod:`repro.pairing.miller` uses for single pairings.
+
+    ``accumulators > 1`` switches to the partitioned mode of
+    :func:`split_batched_miller_loop`: one independent chain per group of
+    sources, merged once at the end.
     """
+    if validate_accumulator_count(accumulators) > 1:
+        return split_batched_miller_loop(ctx, sources, accumulators, use_naf=use_naf)
     digits = _loop_digits(ctx, use_naf)
     f = ctx.full_one()
     for digit in reversed(digits[:-1]):
@@ -281,7 +376,7 @@ def _make_sources(ctx, curve, pairs, use_naf: bool) -> list:
     return sources
 
 
-def multi_pairing(curve, pairs, use_naf: bool = True):
+def multi_pairing(curve, pairs, use_naf: bool = True, accumulators: int = 1):
     """Compute the pairing product ``Pi e(P_i, Q_i)`` with one shared pipeline.
 
     Equivalent to the product of :func:`repro.pairing.ate.optimal_ate_pairing`
@@ -290,7 +385,14 @@ def multi_pairing(curve, pairs, use_naf: bool = True):
     :class:`G2Precomputation` objects from :func:`precompute_g2`.  An empty
     product, and pairs whose ``P`` or ``Q`` is the point at infinity, yield the
     G_T identity -- exactly as ``optimal_ate_pairing`` treats infinity.
+
+    ``accumulators=g`` runs ``g`` independent Miller chains over contiguous
+    groups of the (non-degenerate) pairs and merges them before the one final
+    exponentiation -- the split-accumulator mode mirrored by the compiled
+    ``compile_multi_pairing(..., split_accumulators=True)`` kernel.  The value
+    is identical for every ``g``.
     """
+    accumulators = validate_accumulator_count(accumulators)
     try:
         pairs = list(pairs)
     except TypeError as exc:
@@ -305,5 +407,5 @@ def multi_pairing(curve, pairs, use_naf: bool = True):
         # consistent with optimal_ate_pairing on the point at infinity.
         return curve.tower.full_field.one()
 
-    f = batched_miller_loop(ctx, sources, use_naf=use_naf)
+    f = batched_miller_loop(ctx, sources, use_naf=use_naf, accumulators=accumulators)
     return final_exponentiation(ctx, f)

@@ -1,12 +1,23 @@
 """Simulators: functional (single-cycle) and cycle-accurate pipeline models."""
 
 from repro.sim.functional import FunctionalSimulator
-from repro.sim.cycle import CycleAccurateSimulator, CycleStats
+from repro.sim.cycle import (
+    CycleAccurateSimulator,
+    CycleStats,
+    MultiCoreStats,
+    assign_lanes_to_cores,
+    assign_split_lanes_to_cores,
+    validate_core_count,
+)
 from repro.sim.trace import IssueTrace
 
 __all__ = [
     "FunctionalSimulator",
     "CycleAccurateSimulator",
     "CycleStats",
+    "MultiCoreStats",
+    "assign_lanes_to_cores",
+    "assign_split_lanes_to_cores",
+    "validate_core_count",
     "IssueTrace",
 ]

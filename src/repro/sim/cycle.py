@@ -24,6 +24,14 @@ readiness is tracked globally (a consumer on one core waits for the producing
 core's write-back).  The schedule and the simulation are pure functions of the
 scheduled program and the core count, so the statistics are bit-identical for
 any enumeration order of the lanes.
+
+The same machinery serves both accumulator modes of the batched kernel: in the
+shared mode the lanes are per-pair line evaluations and the single accumulator
+chain rides the shared lane on core 0; in the split mode
+(``compile_multi_pairing(..., split_accumulators=True)``) each lane is one
+complete accumulator *group* -- its pairs' lines plus its own chain -- and the
+shared lane holds only the cross-group merge and the final exponentiation, so
+the cores run with no cross-core serialisation until the merge.
 """
 
 from __future__ import annotations
@@ -117,28 +125,81 @@ class MultiCoreStats:
         }
 
 
+def validate_core_count(n_cores) -> int:
+    """Core counts must be integral (bools rejected) and at least 1.
+
+    ``True`` would silently simulate one core and a float would truncate, so
+    both are treated as caller bugs rather than coerced.
+    """
+    if isinstance(n_cores, bool) or not isinstance(n_cores, int):
+        raise SimulationError(
+            f"core count must be an integer, got {n_cores!r} ({type(n_cores).__name__})"
+        )
+    if n_cores < 1:
+        raise SimulationError(f"core count must be positive, got {n_cores}")
+    return n_cores
+
+
 def assign_lanes_to_cores(lane_costs: dict, n_cores: int) -> dict:
     """Deterministic LPT list-schedule of batch lanes onto replicated cores.
 
     ``lane_costs`` maps each lane to its instruction count (the throughput
     proxy on an in-order core).  The shared lane ``None`` -- accumulator
-    squarings, product updates and the final exponentiation -- is pinned to
-    core 0; the remaining lanes are taken longest-first (ties broken by lane
-    id) and placed on the least-loaded core (ties broken by core index).  The
-    result is a pure function of the *contents* of ``lane_costs``: iteration
-    order, dict insertion order or any worker enumeration order cannot change
-    the assignment, which is what makes multi-core cycle counts reproducible.
+    squarings, cross-group merges and the final exponentiation -- is pinned to
+    core 0; the remaining lanes are placed longest-first on the least-loaded
+    core.  Both orders carry an *explicit* tie-break so the result is a pure
+    function of the contents of ``lane_costs``: lanes of equal cost are taken
+    in ascending lane id, and equally-loaded cores are filled in ascending
+    core index.  Equal-cost lanes therefore land round-robin on cores
+    ``0, 1, 2, ...`` regardless of dict insertion order, worker enumeration
+    order, or any other incidental ordering -- which is what makes multi-core
+    cycle counts reproducible.
     """
-    if n_cores < 1:
-        raise SimulationError("core count must be positive")
+    n_cores = validate_core_count(n_cores)
     assignment = {None: 0}
     loads = [0] * n_cores
     loads[0] += lane_costs.get(None, 0)
+    # sort key: cost descending, then lane id ascending (the explicit
+    # tie-break; lane ids are ints, so this never falls back to dict order).
     for lane in sorted(
         (lane for lane in lane_costs if lane is not None),
         key=lambda lane: (-lane_costs[lane], lane),
     ):
         core = min(range(n_cores), key=lambda index: (loads[index], index))
+        assignment[lane] = core
+        loads[core] += lane_costs[lane]
+    return assignment
+
+
+def assign_split_lanes_to_cores(lane_costs: dict, n_cores: int) -> dict:
+    """Deterministic lane assignment for *split-accumulator* kernels.
+
+    In a split kernel every non-shared lane is one complete accumulator group
+    (its pairs' line evaluations plus its own squaring chain) and the shared
+    lane ``None`` is a pure *tail*: the cross-group merge product and the
+    final exponentiation, which run after the groups finish.  Counting that
+    tail as core-0 load -- what the plain LPT of
+    :func:`assign_lanes_to_cores` does -- would steer groups away from core 0
+    and double them up on another core while core 0 idles through the whole
+    Miller phase.
+
+    Groups are therefore balanced by *group* load only: longest-first (ties
+    by ascending lane id) onto the least group-loaded core, with equal loads
+    broken toward the **highest** core index so core 0 -- which must also run
+    the merge tail -- is loaded last.  With ``n_groups <= n_cores`` (the shape
+    ``compile_multi_pairing(..., split_accumulators=True)`` emits) every group
+    gets a dedicated core and nothing overlaps the merge host until the merge
+    itself.  Like the LPT, the result is a pure function of the contents of
+    ``lane_costs``.
+    """
+    n_cores = validate_core_count(n_cores)
+    assignment = {None: 0}
+    loads = [0] * n_cores
+    for lane in sorted(
+        (lane for lane in lane_costs if lane is not None),
+        key=lambda lane: (-lane_costs[lane], lane),
+    ):
+        core = min(range(n_cores), key=lambda index: (loads[index], -index))
         assignment[lane] = core
         loads[core] += lane_costs[lane]
     return assignment
@@ -269,8 +330,7 @@ class CycleAccurateSimulator:
         hw = self.hw or schedule.hw
         if n_cores is None:
             n_cores = hw.n_cores
-        if n_cores < 1:
-            raise SimulationError("core count must be positive")
+        n_cores = validate_core_count(n_cores)
         module = schedule.module
         instructions = module.instructions
         banks = schedule.banks
@@ -291,7 +351,15 @@ class CycleAccurateSimulator:
             scheduled[vid] = True
             lane = instructions[vid].lane
             lane_costs[lane] = lane_costs.get(lane, 0) + 1
-        assignment = assign_lanes_to_cores(lane_costs, n_cores)
+        # Split-accumulator kernels (module metadata set by the batched
+        # codegen and preserved through lowering/IROpt) balance whole
+        # accumulator groups with the merge tail excluded from the load
+        # model; shared kernels use the classic LPT with the accumulator
+        # chain pinned as core-0 load.
+        if getattr(module, "meta", None) and module.meta.get("split_accumulators"):
+            assignment = assign_split_lanes_to_cores(lane_costs, n_cores)
+        else:
+            assignment = assign_lanes_to_cores(lane_costs, n_cores)
         queues: list = [[] for _ in range(n_cores)]
         for vid in order:
             queues[assignment.get(instructions[vid].lane, 0)].append(vid)

@@ -1,4 +1,5 @@
-"""Batched multi-pairing: product agreement, precomputation, input validation."""
+"""Batched multi-pairing: product agreement, precomputation, input validation,
+and the split-accumulator partition mode."""
 
 import random
 
@@ -6,7 +7,12 @@ import pytest
 
 from repro.errors import PairingError
 from repro.pairing.ate import optimal_ate_pairing
-from repro.pairing.batch import G2Precomputation, multi_pairing, precompute_g2
+from repro.pairing.batch import (
+    G2Precomputation,
+    multi_pairing,
+    partition_into_groups,
+    precompute_g2,
+)
 
 
 def _random_pairs(curve, count, seed):
@@ -78,6 +84,106 @@ def test_groth16_product_shape(toy_bn):
         (g1.scalar_mul(alpha), g2.scalar_mul(beta)),
         (g1.scalar_mul(c), g2.scalar_mul(delta)),
     ]).is_one()
+
+
+# ---------------------------------------------------------------------------
+# Split accumulators (the partition mode)
+# ---------------------------------------------------------------------------
+
+def test_split_accumulators_match_shared_all_families(toy_curve):
+    """Split vs shared vs per-pair product, across every curve family."""
+    pairs = _random_pairs(toy_curve, 5, seed=157)
+    expected = _pairing_product(toy_curve, pairs)
+    shared = multi_pairing(toy_curve, pairs)
+    assert shared == expected
+    # Even, uneven (5 % 2, 5 % 3) and degenerate-empty (g > n) partitions.
+    for groups in (1, 2, 3, 5, 7):
+        assert multi_pairing(toy_curve, pairs, accumulators=groups) == expected
+
+
+def test_split_accumulators_binary_digits(toy_bn):
+    pairs = _random_pairs(toy_bn, 4, seed=163)
+    expected = _pairing_product(toy_bn, pairs)
+    assert multi_pairing(toy_bn, pairs, use_naf=False, accumulators=3) == expected
+
+
+def test_split_accumulators_mixed_precomputed_and_live(toy_curve):
+    """Precomputed replay streams keep their schedule inside any group."""
+    pairs = _random_pairs(toy_curve, 4, seed=167)
+    expected = _pairing_product(toy_curve, pairs)
+    pre0 = precompute_g2(toy_curve, pairs[0][1])
+    pre2 = precompute_g2(toy_curve, pairs[2][1])
+    mixed = [(pairs[0][0], pre0), pairs[1], (pairs[2][0], pre2), pairs[3]]
+    for groups in (2, 3, 4):
+        assert multi_pairing(toy_curve, mixed, accumulators=groups) == expected
+
+
+def test_split_accumulators_skip_degenerate_pairs(toy_bn, rng):
+    P = toy_bn.random_g1(rng)
+    Q = toy_bn.random_g2(rng)
+    inf1 = toy_bn.curve.infinity()
+    expected = optimal_ate_pairing(toy_bn, P, Q)
+    pairs = [(P, Q), (inf1, Q), (P, toy_bn.twist_curve.infinity())]
+    assert multi_pairing(toy_bn, pairs, accumulators=2) == expected
+    assert multi_pairing(toy_bn, [(inf1, Q)], accumulators=3).is_one()
+    assert multi_pairing(toy_bn, [], accumulators=2).is_one()
+
+
+def test_split_groth16_product_shape(toy_bn):
+    """The verifier shape stays valid under the split accumulator."""
+    curve = toy_bn
+    rng = random.Random(173)
+    g1, g2, r = curve.g1_generator, curve.g2_generator, curve.r
+    alpha, beta, delta, c = (rng.randrange(2, r) for _ in range(4))
+    a = rng.randrange(2, r)
+    b = ((alpha * beta + c * delta) * pow(a, -1, r)) % r
+    assert multi_pairing(curve, [
+        (-g1.scalar_mul(a), g2.scalar_mul(b)),
+        (g1.scalar_mul(alpha), g2.scalar_mul(beta)),
+        (g1.scalar_mul(c), g2.scalar_mul(delta)),
+    ], accumulators=3).is_one()
+
+
+def test_accumulator_count_validation(toy_bn, rng):
+    P = toy_bn.random_g1(rng)
+    Q = toy_bn.random_g2(rng)
+    for bad in (0, -1, 2.5, True, "2", None):
+        with pytest.raises(PairingError):
+            multi_pairing(toy_bn, [(P, Q)], accumulators=bad)
+
+
+def test_partition_into_groups_is_balanced_and_deterministic():
+    assert partition_into_groups(range(8), 4) == [[0, 1], [2, 3], [4, 5], [6, 7]]
+    assert partition_into_groups(range(5), 2) == [[0, 1, 2], [3, 4]]
+    assert partition_into_groups(range(5), 3) == [[0, 1], [2, 3], [4]]
+    assert partition_into_groups(range(2), 4) == [[0], [1], [], []]
+    assert partition_into_groups([], 3) == [[], [], []]
+    # Sizes differ by at most one and order is preserved.
+    groups = partition_into_groups(range(11), 4)
+    sizes = [len(g) for g in groups]
+    assert max(sizes) - min(sizes) <= 1
+    assert [x for g in groups for x in g] == list(range(11))
+    with pytest.raises(PairingError):
+        partition_into_groups(range(4), 0)
+    with pytest.raises(PairingError):
+        partition_into_groups(range(4), True)
+
+
+@pytest.mark.slow
+def test_split_accumulators_negative_loop_scalar():
+    """BN254N has u < 0: the per-group conjugation and BN Frobenius tail must
+    agree with the shared chain (and with a mixed precomputed source)."""
+    from repro.curves.catalog import get_curve
+
+    curve = get_curve("BN254N")
+    assert curve.family.miller_loop_scalar(curve.params.u) < 0
+    rng = random.Random(179)
+    pairs = [(curve.random_g1(rng), curve.random_g2(rng)) for _ in range(3)]
+    shared = multi_pairing(curve, pairs)
+    assert multi_pairing(curve, pairs, accumulators=2) == shared
+    pre = precompute_g2(curve, pairs[1][1])
+    mixed = [pairs[0], (pairs[1][0], pre), pairs[2]]
+    assert multi_pairing(curve, mixed, accumulators=3) == shared
 
 
 # ---------------------------------------------------------------------------

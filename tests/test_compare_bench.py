@@ -1,0 +1,72 @@
+"""Benchmark regression guard: zero baselines, one-sided metrics, thresholds.
+
+The guard runs in CI after every bench job; a malformed or renamed metric must
+degrade to an informational note, never crash the job or fail it on an
+undefined delta.
+"""
+
+import importlib.util
+import json
+import os
+import sys
+
+_GUARD_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "benchmarks", "compare_bench.py",
+)
+_spec = importlib.util.spec_from_file_location("compare_bench", _GUARD_PATH)
+compare_bench = importlib.util.module_from_spec(_spec)
+sys.modules.setdefault("compare_bench", compare_bench)
+_spec.loader.exec_module(compare_bench)
+
+
+def _write(path, payload):
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload))
+
+
+def test_compare_handles_zero_baseline_without_crashing(tmp_path, capsys):
+    """A 0 baseline cycle metric must not divide-by-zero or fail the guard."""
+    _write(tmp_path / "base" / "exp.json", {"rows": [{"cycles": 0}, {"cycles": 100}]})
+    _write(tmp_path / "cur" / "exp.json", {"rows": [{"cycles": 500}, {"cycles": 100}]})
+    rc = compare_bench.main(["--baseline", str(tmp_path / "base"),
+                             "--current", str(tmp_path / "cur")])
+    out = capsys.readouterr().out
+    assert rc == 0                        # undefined delta is informational
+    assert "n/a (baseline 0)" in out
+
+
+def test_compare_zero_to_zero_is_no_change():
+    rows = compare_bench.compare({"a:cycles": 0.0}, {"a:cycles": 0.0})
+    assert rows == [("a:cycles", 0.0, 0.0, 0.0)]
+    rows = compare_bench.compare({"a:cycles": 0.0}, {"a:cycles": 7.0})
+    assert rows[0][3] is None
+
+
+def test_compare_reports_one_sided_metrics_and_continues(tmp_path, capsys):
+    """Renamed/new experiments are reported as new/removed, not a crash."""
+    _write(tmp_path / "base" / "old.json", {"total_cycles": 100, "shared": {"cycles": 50}})
+    _write(tmp_path / "cur" / "old.json", {"total_cycles": 110, "split": {"cycles": 40}})
+    rc = compare_bench.main(["--baseline", str(tmp_path / "base"),
+                             "--current", str(tmp_path / "cur")])
+    out = capsys.readouterr().out
+    assert rc == 0                        # +10% is under the default threshold
+    assert "new: `old.json:split.cycles`" in out
+    assert "removed: `old.json:shared.cycles`" in out
+
+
+def test_compare_still_fails_real_regressions(tmp_path, capsys):
+    _write(tmp_path / "base" / "exp.json", {"cycles": 100})
+    _write(tmp_path / "cur" / "exp.json", {"cycles": 200})
+    rc = compare_bench.main(["--baseline", str(tmp_path / "base"),
+                             "--current", str(tmp_path / "cur")])
+    assert rc == 1
+    assert "FAIL" in capsys.readouterr().out
+
+
+def test_missing_baseline_passes_with_note(tmp_path, capsys):
+    _write(tmp_path / "cur" / "exp.json", {"cycles": 100})
+    rc = compare_bench.main(["--baseline", str(tmp_path / "base"),
+                             "--current", str(tmp_path / "cur")])
+    assert rc == 0
+    assert "first run" in capsys.readouterr().out

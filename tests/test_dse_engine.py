@@ -120,6 +120,44 @@ def test_default_workers_env(monkeypatch):
 
 
 # ---------------------------------------------------------------------------
+# Batched sweeps: accumulator-mode ranking and entry validation
+# ---------------------------------------------------------------------------
+
+def test_engine_validates_batched_configuration(toy_bn):
+    for bad in (0, -2, 1.5, True):
+        with pytest.raises(ValueError):
+            ParallelExplorer(toy_bn, workers=1, batch_size=bad)
+    with pytest.raises(ValueError):
+        ParallelExplorer(toy_bn, workers=1, batch_size=2,
+                         split_accumulators="sometimes")
+    # Valid forms construct fine.
+    ParallelExplorer(toy_bn, workers=1, batch_size=2, split_accumulators=False)
+    ParallelExplorer(toy_bn, workers=1, batch_size=None)
+
+
+def test_batched_sweep_ranks_accumulator_modes(toy_bn, toy_points):
+    """An auto-mode batched sweep records the winning kernel per point and is
+    deterministic across repeated sweeps."""
+    points = toy_points[:2]
+    engine = ParallelExplorer(toy_bn, workers=1, n_cores=2, batch_size=2,
+                              do_assemble=False)
+    first = engine.explore(points, objective="throughput")
+    assert len(first) == len(points)
+    for metrics in first:
+        assert metrics.batch == 2
+        assert metrics.accumulator_mode in ("shared", "split")
+        assert metrics.describe()["accumulator_mode"] == metrics.accumulator_mode
+    forced = ParallelExplorer(toy_bn, workers=1, n_cores=2, batch_size=2,
+                              do_assemble=False, split_accumulators="shared")
+    shared_ranked = forced.explore(points, objective="throughput")
+    # Auto can only improve on (or match) the forced shared mode per point.
+    by_label = {m.label: m for m in shared_ranked}
+    for metrics in first:
+        assert metrics.cycles <= by_label[metrics.label].cycles
+    assert engine.explore(points, objective="throughput") == first
+
+
+# ---------------------------------------------------------------------------
 # Codesign through the engine
 # ---------------------------------------------------------------------------
 

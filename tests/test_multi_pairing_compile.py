@@ -1,5 +1,5 @@
 """Compiled batched multi-pairing: bit-exactness vs the software product,
-multi-core scheduling determinism, and cache integration."""
+multi-core scheduling determinism, split accumulators, and cache integration."""
 
 import random
 
@@ -15,7 +15,11 @@ from repro.compiler.pipeline import (
 from repro.errors import CompilerError, SimulationError
 from repro.hw.presets import paper_hw1
 from repro.pairing.batch import multi_pairing
-from repro.sim.cycle import CycleAccurateSimulator, assign_lanes_to_cores
+from repro.sim.cycle import (
+    CycleAccurateSimulator,
+    assign_lanes_to_cores,
+    assign_split_lanes_to_cores,
+)
 from repro.sim.functional import FunctionalSimulator
 
 
@@ -39,6 +43,20 @@ def compiled_batch4(toy_bn):
     """One 4-pair toy-BN kernel shared by the multi-core scheduling tests."""
     hw = paper_hw1(toy_bn.params.p.bit_length()).with_cores(4)
     return compile_multi_pairing(toy_bn, 4, hw=hw)
+
+
+@pytest.fixture(scope="module")
+def compiled_shared8(toy_bn):
+    """The PR-3 shared-accumulator kernel: 8 pairs on a 4-core model."""
+    hw = paper_hw1(toy_bn.params.p.bit_length()).with_cores(4)
+    return compile_multi_pairing(toy_bn, 8, hw=hw)
+
+
+@pytest.fixture(scope="module")
+def compiled_split8(toy_bn):
+    """The split-accumulator kernel: 8 pairs, one accumulator chain per core."""
+    hw = paper_hw1(toy_bn.params.p.bit_length()).with_cores(4)
+    return compile_multi_pairing(toy_bn, 8, hw=hw, split_accumulators=True)
 
 
 # ---------------------------------------------------------------------------
@@ -118,17 +136,39 @@ def test_rejects_empty_batch(toy_bn):
         generate_multi_pairing_ir(toy_bn, 0)
 
 
-def test_design_point_evaluation_rejects_zero_batch(toy_bn):
-    """batch_size=0 is a caller bug, not a silent single-pairing fallback."""
+def test_rejects_non_integral_batch(toy_bn):
+    """Bools and truncating floats are caller bugs, not batch sizes."""
+    for bad in (-3, 2.5, True, "4", None):
+        with pytest.raises(CompilerError):
+            compile_multi_pairing(toy_bn, bad)
+        with pytest.raises(CompilerError):
+            generate_multi_pairing_ir(toy_bn, bad)
+    with pytest.raises(CompilerError):
+        generate_multi_pairing_ir(toy_bn, 2, accumulator_groups=0)
+    with pytest.raises(CompilerError):
+        generate_multi_pairing_ir(toy_bn, 2, accumulator_groups=1.5)
+
+
+def test_design_point_evaluation_rejects_degenerate_inputs(toy_bn):
+    """batch_size=0 (or negative/fractional) is a caller bug, not a silent
+    single-pairing fallback; same for core counts."""
     from repro.dse.explorer import evaluate_design_point
     from repro.dse.space import DesignPoint
     from repro.fields.variants import VariantConfig
 
     point = DesignPoint(variant_config=VariantConfig.all_karatsuba(),
                         hw=paper_hw1(toy_bn.params.p.bit_length()))
-    with pytest.raises(CompilerError):
+    for bad in (0, -4, 2.5, True):
+        with pytest.raises(ValueError):
+            evaluate_design_point(toy_bn, point, n_cores=2, do_assemble=False,
+                                  batch_size=bad)
+    for bad_cores in (0, -1, 1.5, False):
+        with pytest.raises(ValueError):
+            evaluate_design_point(toy_bn, point, n_cores=bad_cores,
+                                  do_assemble=False, batch_size=2)
+    with pytest.raises(ValueError):
         evaluate_design_point(toy_bn, point, n_cores=2, do_assemble=False,
-                              batch_size=0)
+                              batch_size=2, split_accumulators="sometimes")
 
 
 def test_batched_result_ipc_is_consistent_with_cycles(compiled_batch4):
@@ -200,6 +240,223 @@ def test_batch_amortises_cycles_per_pairing(toy_bn, compiled_batch4):
     hw = paper_hw1(toy_bn.params.p.bit_length()).with_cores(4)
     single = compile_multi_pairing(toy_bn, 1, hw=hw)
     assert compiled_batch4.cycles_per_pairing < single.cycles_per_pairing
+
+
+# ---------------------------------------------------------------------------
+# Split accumulators: compiled kernel
+# ---------------------------------------------------------------------------
+
+def test_split_compiled_matches_software_bn(toy_bn, compiled_split8):
+    """The split kernel computes the exact software multi_pairing product."""
+    pairs = _random_pairs(toy_bn, 8, seed=307)
+    golden = multi_pairing(toy_bn, pairs)
+    assert golden == multi_pairing(toy_bn, pairs, accumulators=4)
+    sim = FunctionalSimulator(compiled_split8.program, toy_bn.params.p)
+    outputs = sim.run(_kernel_inputs(pairs)).outputs
+    got = [outputs[("result", j)] for j in range(toy_bn.params.k)]
+    assert got == golden.to_base_coeffs()
+
+
+def test_split_compiled_uneven_partition(toy_bn):
+    """n_pairs % n_cores != 0: groups of unequal size stay bit-exact."""
+    hw = paper_hw1(toy_bn.params.p.bit_length()).with_cores(4)
+    result = compile_multi_pairing(toy_bn, 5, hw=hw, split_accumulators=True)
+    pairs = _random_pairs(toy_bn, 5, seed=311)
+    golden = multi_pairing(toy_bn, pairs)
+    sim = FunctionalSimulator(result.program, toy_bn.params.p)
+    outputs = sim.run(_kernel_inputs(pairs)).outputs
+    assert [outputs[("result", j)] for j in range(toy_bn.params.k)] == \
+        golden.to_base_coeffs()
+
+
+def test_split_compiled_matches_software_bls(toy_bls12):
+    hw = paper_hw1(toy_bls12.params.p.bit_length()).with_cores(2)
+    result = compile_multi_pairing(toy_bls12, 3, hw=hw, split_accumulators=True)
+    pairs = _random_pairs(toy_bls12, 3, seed=313)
+    golden = multi_pairing(toy_bls12, pairs)
+    sim = FunctionalSimulator(result.program, toy_bls12.params.p)
+    outputs = sim.run(_kernel_inputs(pairs)).outputs
+    assert [outputs[("result", j)] for j in range(toy_bls12.params.k)] == \
+        golden.to_base_coeffs()
+
+
+def test_split_beats_shared_on_four_cores(compiled_shared8, compiled_split8):
+    """The acceptance criterion: on a 4-core model at batch 8, the split
+    kernel simulates to strictly fewer total cycles than the shared one."""
+    assert compiled_split8.multicore_stats.n_cores == 4
+    assert compiled_shared8.multicore_stats.n_cores == 4
+    assert compiled_split8.cycles < compiled_shared8.cycles
+    # The trade the co-design loop exposes: the split kernel runs *more*
+    # instructions (n_cores - 1 extra squaring chains + the merge) in fewer
+    # cycles, because the chains no longer serialise on core 0.
+    assert compiled_split8.final_instructions > compiled_shared8.final_instructions
+    assert compiled_split8.split_accumulators is True
+    assert compiled_split8.accumulator_groups == 4
+    assert compiled_split8.describe()["accumulators"] == "split"
+    assert compiled_shared8.describe()["accumulators"] == "shared"
+
+
+def test_split_multicore_stats_are_deterministic(compiled_split8):
+    simulator = CycleAccurateSimulator()
+    first = simulator.run_multicore(compiled_split8.schedule, 4)
+    second = simulator.run_multicore(compiled_split8.schedule, 4)
+    assert first == second
+    assert first.total_cycles == compiled_split8.cycles
+    # Every group gets its own core; the merge tail shares core 0 with one
+    # group instead of idling through the Miller phase.
+    group_cores = {first.lane_assignment[lane] for lane in (0, 1, 2, 3)}
+    assert group_cores == {0, 1, 2, 3}
+    assert first.lane_assignment[None] == 0
+
+
+def test_split_lanes_survive_lowering_and_optimisation(compiled_split8, compiled_shared8):
+    histogram = compiled_split8.schedule.module.lane_histogram()
+    assert set(histogram) == {None, 0, 1, 2, 3}
+    group_counts = [histogram[lane] for lane in (0, 1, 2, 3)]
+    # Structurally identical groups must stay symmetric through IROpt.
+    assert max(group_counts) == min(group_counts) > 0
+    # The split kernel's shared lane is only the merge + final exponentiation;
+    # the shared kernel's shared lane additionally carries the whole fused
+    # accumulator chain.
+    shared_histogram = compiled_shared8.schedule.module.lane_histogram()
+    assert histogram[None] < shared_histogram[None]
+    # Kernel-shape metadata rides through lowering and IROpt to the scheduler.
+    assert compiled_split8.schedule.module.meta["split_accumulators"] is True
+    assert compiled_split8.schedule.module.meta["accumulator_groups"] == 4
+    assert compiled_shared8.schedule.module.meta["split_accumulators"] is False
+
+
+def test_split_on_one_core_degenerates_to_shared(toy_bn):
+    """One accumulator group is the shared kernel (same trace, same cycles)."""
+    hw = paper_hw1(toy_bn.params.p.bit_length())        # n_cores=1
+    shared = compile_multi_pairing(toy_bn, 2, hw=hw)
+    split = compile_multi_pairing(toy_bn, 2, hw=hw, split_accumulators=True)
+    assert split.accumulator_groups == 1
+    assert split.cycles == shared.cycles
+    assert split.final_instructions == shared.final_instructions
+
+
+def test_split_mode_and_core_count_are_in_the_digest(toy_bn):
+    clear_caches()
+    hw = paper_hw1(toy_bn.params.p.bit_length()).with_cores(2)
+    shared = compile_multi_pairing(toy_bn, 4, hw=hw)
+    split2 = compile_multi_pairing(toy_bn, 4, hw=hw, split_accumulators=True)
+    assert split2 is not shared
+    # The split *trace* depends on the core count (one group per core), so a
+    # different core count is a different kernel, not just a re-simulation.
+    split4 = compile_multi_pairing(toy_bn, 4, hw=hw.with_cores(4),
+                                   split_accumulators=True)
+    assert split4 is not split2
+    assert split4.accumulator_groups == 4 and split2.accumulator_groups == 2
+    stats = compile_cache_stats()["result"]
+    assert stats["misses"] == 3
+    # Repeat calls are served from cache.
+    assert compile_multi_pairing(toy_bn, 4, hw=hw, split_accumulators=True) is split2
+
+
+# ---------------------------------------------------------------------------
+# Split-aware lane assignment
+# ---------------------------------------------------------------------------
+
+def test_split_lane_assignment_dedicates_cores():
+    """Group lanes are balanced by group load only (the merge tail on core 0
+    is not parallel work) and ties fill from the highest core index down."""
+    costs = {None: 900, 0: 100, 1: 100, 2: 100, 3: 100}
+    assert assign_split_lanes_to_cores(costs, 4) == {
+        None: 0, 0: 3, 1: 2, 2: 1, 3: 0,
+    }
+    # Fewer groups than cores: core 0 is left to the merge tail alone.
+    assert assign_split_lanes_to_cores({None: 900, 0: 50, 1: 50}, 4) == {
+        None: 0, 0: 3, 1: 2,
+    }
+    # More groups than cores: plain balanced fill, still ignoring the tail.
+    assignment = assign_split_lanes_to_cores(
+        {None: 900, 0: 100, 1: 100, 2: 100, 3: 100}, 2)
+    loads = {0: 0, 1: 0}
+    for lane in (0, 1, 2, 3):
+        loads[assignment[lane]] += 100
+    assert loads == {0: 200, 1: 200}
+
+
+def test_split_lane_assignment_is_order_independent():
+    costs = {None: 900, 0: 130, 1: 100, 2: 100, 3: 70}
+    baseline = assign_split_lanes_to_cores(costs, 3)
+    rng = random.Random(317)
+    items = list(costs.items())
+    for _ in range(10):
+        rng.shuffle(items)
+        assert assign_split_lanes_to_cores(dict(items), 3) == baseline
+
+
+def test_lane_assignment_tie_break_is_explicit():
+    """Equal-cost lanes land by ascending lane id on ascending core index."""
+    costs = {None: 10, 0: 5, 1: 5, 2: 5}
+    assert assign_lanes_to_cores(costs, 2) == {None: 0, 0: 1, 1: 1, 2: 0}
+    assert assign_lanes_to_cores(costs, 3) == {None: 0, 0: 1, 1: 2, 2: 1}
+
+
+def test_core_count_validation():
+    from repro.sim.cycle import validate_core_count
+
+    assert validate_core_count(3) == 3
+    for bad in (0, -2, 1.5, True, "4", None):
+        with pytest.raises(SimulationError):
+            validate_core_count(bad)
+        with pytest.raises(SimulationError):
+            assign_lanes_to_cores({None: 1}, bad)
+        with pytest.raises(SimulationError):
+            assign_split_lanes_to_cores({None: 1}, bad)
+
+
+def test_run_multicore_validates_core_count(compiled_batch4):
+    simulator = CycleAccurateSimulator()
+    for bad in (0, -1, 2.5, True):
+        with pytest.raises(SimulationError):
+            simulator.run_multicore(compiled_batch4.schedule, bad)
+
+
+# ---------------------------------------------------------------------------
+# Split accumulators through the DSE layer
+# ---------------------------------------------------------------------------
+
+def test_design_point_auto_mode_picks_faster_kernel(toy_bn):
+    from repro.dse.explorer import evaluate_design_point
+    from repro.dse.space import DesignPoint
+    from repro.fields.variants import VariantConfig
+
+    point = DesignPoint(variant_config=VariantConfig.all_karatsuba(),
+                        hw=paper_hw1(toy_bn.params.p.bit_length()))
+    shared = evaluate_design_point(toy_bn, point, n_cores=4, do_assemble=False,
+                                   batch_size=4, split_accumulators="shared")
+    split = evaluate_design_point(toy_bn, point, n_cores=4, do_assemble=False,
+                                  batch_size=4, split_accumulators="split")
+    auto = evaluate_design_point(toy_bn, point, n_cores=4, do_assemble=False,
+                                 batch_size=4, split_accumulators="auto")
+    assert shared.accumulator_mode == "shared"
+    assert split.accumulator_mode == "split"
+    assert auto.cycles == min(shared.cycles, split.cycles)
+    winner = "split" if split.cycles < shared.cycles else "shared"
+    assert auto.accumulator_mode == winner
+    # On the 4-core model at batch 4 the split kernel wins (the ROADMAP trade).
+    assert split.cycles < shared.cycles
+    # Booleans are accepted as forced modes.
+    forced = evaluate_design_point(toy_bn, point, n_cores=4, do_assemble=False,
+                                   batch_size=4, split_accumulators=True)
+    assert forced == split
+    # The mode lands in the serialisable description.
+    assert auto.describe()["accumulator_mode"] == winner
+
+
+def test_design_point_single_core_auto_stays_shared(toy_bn):
+    from repro.dse.explorer import evaluate_design_point
+    from repro.dse.space import DesignPoint
+    from repro.fields.variants import VariantConfig
+
+    point = DesignPoint(variant_config=VariantConfig.all_karatsuba(),
+                        hw=paper_hw1(toy_bn.params.p.bit_length()))
+    metrics = evaluate_design_point(toy_bn, point, n_cores=1, do_assemble=False,
+                                    batch_size=2, split_accumulators="auto")
+    assert metrics.accumulator_mode == "shared"
 
 
 # ---------------------------------------------------------------------------
