@@ -46,3 +46,18 @@ def test_batched_verify_cycles(benchmark, save_result):
                            for batch in sorted(rows)]
             assert per_pairing == sorted(per_pairing, reverse=True)
             assert per_pairing[-1] < per_pairing[0]
+    # The cyclotomic final-exp fast path: at the largest batch, the
+    # Granger-Scott kernel must cut the final-exp phase cycles by >= 20% vs
+    # the generic kernel (the tentpole acceptance bar) in both accumulator
+    # modes, and total batch cycles must drop with it.  The compressed
+    # (Karabina) kernel must also beat generic, at fewer instructions.
+    fe = result["final_exp"]["modes"]
+    for acc_mode in ("shared", "split"):
+        for label in (f"c{n}" for n in result["core_counts"]):
+            generic = fe["generic"][acc_mode][label]
+            cyclo = fe["cyclotomic"][acc_mode][label]
+            compressed = fe["compressed"][acc_mode][label]
+            assert cyclo["final_exp_cycles"] <= 0.8 * generic["final_exp_cycles"]
+            assert cyclo["cycles"] < generic["cycles"]
+            assert compressed["final_exp_cycles"] < generic["final_exp_cycles"]
+            assert compressed["cycles"] < generic["cycles"]

@@ -1,0 +1,87 @@
+"""Final-exponentiation mode delta table for the CI job summary.
+
+Reads the ``final_exp`` section of ``benchmarks/results/batch_verify.json``
+(written by the smoke bench job) and renders a markdown table of
+cycles-per-pairing for the three hard-part kernels -- generic, cyclotomic
+(Granger-Scott) and compressed (Karabina) -- per accumulator mode and core
+count, with the delta of each fast path against the generic baseline.  The
+table is printed to stdout and, when ``GITHUB_STEP_SUMMARY`` (or
+``--summary``) names a file, appended there so the per-commit perf trajectory
+of the cyclotomic fast path is visible in the Actions UI.
+
+Usage::
+
+    python benchmarks/fe_summary.py [--results PATH] [--summary PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+DEFAULT_RESULTS = Path(__file__).parent / "results" / "batch_verify.json"
+
+
+def render_table(result: dict) -> str:
+    fe = result.get("final_exp")
+    if not fe:
+        return "_no final_exp section in the benchmark payload (pre-1.5 result?)_"
+    batch = fe["batch"]
+    modes = fe["modes"]
+    core_labels = [f"c{n}" for n in result.get("core_counts", (1, 2, 4))]
+    lines = [
+        f"### Final-exponentiation kernels -- {result.get('curve', '?')} "
+        f"batch={batch} (cycles/pairing, delta vs generic)",
+        "",
+        "| accumulators | cores | generic | cyclotomic | compressed |",
+        "|---|---|---|---|---|",
+    ]
+    for acc_mode in ("shared", "split"):
+        for label in core_labels:
+            generic = modes["generic"][acc_mode][label]
+            cells = [f"{generic['cycles_per_pairing']:.0f}"]
+            for fe_mode in ("cyclotomic", "compressed"):
+                entry = modes[fe_mode][acc_mode][label]
+                delta = 0.0
+                if generic["cycles"]:
+                    delta = 100.0 * (1.0 - entry["cycles"] / generic["cycles"])
+                cells.append(
+                    f"{entry['cycles_per_pairing']:.0f} ({delta:+.1f}%, "
+                    f"fe share {entry['final_exp_share']:.0%})"
+                )
+            lines.append(
+                f"| {acc_mode} | {label} | " + " | ".join(cells) + " |"
+            )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--results", type=Path, default=DEFAULT_RESULTS,
+                        help="batch_verify.json path")
+    parser.add_argument("--summary", type=Path, default=None,
+                        help="markdown summary file (defaults to $GITHUB_STEP_SUMMARY)")
+    args = parser.parse_args(argv)
+
+    if not args.results.exists():
+        print(f"fe_summary: no results at {args.results}; nothing to report")
+        return 0
+    result = json.loads(args.results.read_text())
+    table = render_table(result)
+    print(table)
+
+    summary_path = args.summary or (
+        Path(os.environ["GITHUB_STEP_SUMMARY"])
+        if os.environ.get("GITHUB_STEP_SUMMARY") else None
+    )
+    if summary_path is not None:
+        with open(summary_path, "a", encoding="utf-8") as handle:
+            handle.write(table + "\n\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

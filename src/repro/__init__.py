@@ -30,7 +30,7 @@ from repro.pairing.batch import multi_pairing, precompute_g2, split_batched_mill
 from repro.sim.cycle import CycleAccurateSimulator
 from repro.sim.functional import FunctionalSimulator
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "get_curve",

@@ -18,7 +18,7 @@ from repro.pairing.batch import (
     split_batched_miller_loop,
 )
 from repro.pairing.context import PairingContext
-from repro.pairing.final_exp import final_exponentiation
+from repro.pairing.final_exp import final_exponentiation, validate_final_exp_mode
 from repro.pairing.miller import miller_loop
 
 
@@ -62,15 +62,33 @@ class TracingPairingContext(PairingContext):
         c_x, c_y = self.curve.twist_frobenius_constants(n)
         return (self.builder.constant(c_x), self.builder.constant(c_y))
 
+    def full_w_coeffs(self, value):
+        # Coefficient extraction is free in hardware (pure wiring): each "ext"
+        # op lowers to a slice of the producer's F_p expansion.
+        twist = self._tower.twist_field
+        return [self.builder.extract(value, j, twist) for j in range(6)]
+
+    def twist_xi_value(self):
+        return self.builder.constant(self._tower.twist_xi)
+
 
 def generate_pairing_ir(curve, use_naf: bool = True, include_final_exp: bool = True,
-                        name: str | None = None):
+                        name: str | None = None, final_exp_mode: str = "generic"):
     """Trace the full pairing kernel for ``curve`` into a high-level IR module.
 
     The inputs of the module are the affine coordinates of P (two F_p values) and
     Q (two F_p^{k/6} values); the single output is the G_T result.
+
+    ``final_exp_mode`` selects the hard-part backend traced into the kernel
+    (see :data:`repro.pairing.final_exp.FINAL_EXP_MODES`): the generic
+    square-and-multiply, the Granger-Scott cyclotomic fast path, or the
+    Karabina compressed chains.  Instructions carry a ``phase`` tag
+    ("miller"/"final_exp") so the simulators report the final-exp share.
     """
-    builder = IRBuilder(name or f"pairing-{curve.name}")
+    validate_final_exp_mode(final_exp_mode)
+    suffix = "" if final_exp_mode == "generic" else f"-fe-{final_exp_mode}"
+    builder = IRBuilder(name or f"pairing-{curve.name}{suffix}")
+    builder.module.meta.update(final_exp_mode=final_exp_mode)
     ctx = TracingPairingContext(curve, builder)
 
     x_p = builder.input(curve.tower.fp, "xP")
@@ -78,9 +96,11 @@ def generate_pairing_ir(curve, use_naf: bool = True, include_final_exp: bool = T
     x_q = builder.input(curve.tower.twist_field, "xQ")
     y_q = builder.input(curve.tower.twist_field, "yQ")
 
-    f = miller_loop(ctx, (x_p, y_p), (x_q, y_q), use_naf=use_naf)
+    with builder.phase("miller"):
+        f = miller_loop(ctx, (x_p, y_p), (x_q, y_q), use_naf=use_naf)
     if include_final_exp:
-        f = final_exponentiation(ctx, f)
+        with builder.phase("final_exp"):
+            f = final_exponentiation(ctx, f, mode=final_exp_mode)
     builder.output(f, "result")
     return builder.module
 
@@ -137,7 +157,8 @@ def validate_batch_size(n_pairs) -> int:
 def generate_multi_pairing_ir(curve, n_pairs: int, use_naf: bool = True,
                               include_final_exp: bool = True,
                               name: str | None = None,
-                              accumulator_groups: int | None = None):
+                              accumulator_groups: int | None = None,
+                              final_exp_mode: str = "generic"):
     """Trace the batched pairing-product kernel ``Pi e(P_i, Q_i)`` into IR.
 
     The kernel shares one accumulator squaring per Miller iteration and a
@@ -163,6 +184,7 @@ def generate_multi_pairing_ir(curve, n_pairs: int, use_naf: bool = True,
     for each pair ``i``; the single output is the fused G_T product.
     """
     n_pairs = validate_batch_size(n_pairs)
+    validate_final_exp_mode(final_exp_mode)
     if accumulator_groups is not None and (
         isinstance(accumulator_groups, bool) or not isinstance(accumulator_groups, int)
         or accumulator_groups < 1
@@ -174,6 +196,8 @@ def generate_multi_pairing_ir(curve, n_pairs: int, use_naf: bool = True,
     # accumulator_groups=1 degenerates to the shared kernel; don't let the
     # module name claim otherwise.
     suffix = f"-split{accumulator_groups}" if split else ""
+    if final_exp_mode != "generic":
+        suffix += f"-fe-{final_exp_mode}"
     builder = IRBuilder(name or f"multi-pairing-{curve.name}-x{n_pairs}{suffix}")
     # The kernel shape rides on the module (and through lowering/IROpt): the
     # multi-core scheduler assigns split-kernel group lanes differently from
@@ -183,40 +207,43 @@ def generate_multi_pairing_ir(curve, n_pairs: int, use_naf: bool = True,
         n_pairs=n_pairs,
         split_accumulators=split,
         accumulator_groups=accumulator_groups if split else 1,
+        final_exp_mode=final_exp_mode,
     )
     ctx = TracingPairingContext(curve, builder)
 
-    if accumulator_groups is None or accumulator_groups == 1:
-        sources = []
-        for i in range(n_pairs):
-            with builder.lane(i):
-                x_p = builder.input(curve.tower.fp, f"xP{i}")
-                y_p = builder.input(curve.tower.fp, f"yP{i}")
-                x_q = builder.input(curve.tower.twist_field, f"xQ{i}")
-                y_q = builder.input(curve.tower.twist_field, f"yQ{i}")
-                inner = LiveSource(ctx, (x_p, y_p), (x_q, y_q))
-            sources.append(_LaneScopedSource(builder, i, inner))
-        f = batched_miller_loop(ctx, sources, use_naf=use_naf)
-    else:
-        # Split mode: the pair -> group map comes from the same
-        # partition_into_groups the software split accumulator uses, so the
-        # compiled kernel reproduces the software grouping exactly.  A pair's
-        # inputs and point walk live on its *group's* lane; the group chain
-        # work is stamped by split_batched_miller_loop through the
-        # group_scope hook.
-        index_groups = partition_into_groups(range(n_pairs), accumulator_groups)
-        sources = [None] * n_pairs
-        for group, members in enumerate(index_groups):
-            for i in members:
-                with builder.lane(group):
+    with builder.phase("miller"):
+        if accumulator_groups is None or accumulator_groups == 1:
+            sources = []
+            for i in range(n_pairs):
+                with builder.lane(i):
                     x_p = builder.input(curve.tower.fp, f"xP{i}")
                     y_p = builder.input(curve.tower.fp, f"yP{i}")
                     x_q = builder.input(curve.tower.twist_field, f"xQ{i}")
                     y_q = builder.input(curve.tower.twist_field, f"yQ{i}")
-                    sources[i] = LiveSource(ctx, (x_p, y_p), (x_q, y_q))
-        f = split_batched_miller_loop(ctx, sources, accumulator_groups,
-                                      use_naf=use_naf, group_scope=builder.lane)
+                    inner = LiveSource(ctx, (x_p, y_p), (x_q, y_q))
+                sources.append(_LaneScopedSource(builder, i, inner))
+            f = batched_miller_loop(ctx, sources, use_naf=use_naf)
+        else:
+            # Split mode: the pair -> group map comes from the same
+            # partition_into_groups the software split accumulator uses, so the
+            # compiled kernel reproduces the software grouping exactly.  A pair's
+            # inputs and point walk live on its *group's* lane; the group chain
+            # work is stamped by split_batched_miller_loop through the
+            # group_scope hook.
+            index_groups = partition_into_groups(range(n_pairs), accumulator_groups)
+            sources = [None] * n_pairs
+            for group, members in enumerate(index_groups):
+                for i in members:
+                    with builder.lane(group):
+                        x_p = builder.input(curve.tower.fp, f"xP{i}")
+                        y_p = builder.input(curve.tower.fp, f"yP{i}")
+                        x_q = builder.input(curve.tower.twist_field, f"xQ{i}")
+                        y_q = builder.input(curve.tower.twist_field, f"yQ{i}")
+                        sources[i] = LiveSource(ctx, (x_p, y_p), (x_q, y_q))
+            f = split_batched_miller_loop(ctx, sources, accumulator_groups,
+                                          use_naf=use_naf, group_scope=builder.lane)
     if include_final_exp:
-        f = final_exponentiation(ctx, f)
+        with builder.phase("final_exp"):
+            f = final_exponentiation(ctx, f, mode=final_exp_mode)
     builder.output(f, "result")
     return builder.module

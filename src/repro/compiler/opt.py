@@ -42,10 +42,13 @@ def _rebuild(module: IRModule, transform) -> IRModule:
     remap = [0] * len(module.instructions)
     for vid, instr in enumerate(module.instructions):
         new_args = tuple(remap[a] for a in instr.args)
-        # Rebuilt instructions keep the source instruction's batch lane.
+        # Rebuilt instructions keep the source instruction's batch lane and
+        # kernel phase.
         new.current_lane = instr.lane
+        new.current_phase = instr.phase
         remap[vid] = transform(new, instr, new_args)
     new.current_lane = None
+    new.current_phase = None
     return new
 
 
@@ -208,6 +211,10 @@ def global_value_numbering(module: IRModule, p: int) -> IRModule:
             # keeps the *simulation* correct either way).
             if new.instructions[hit].lane != instr.lane:
                 new.instructions[hit].lane = None
+            # A value shared by two phases is likewise demoted to untagged so
+            # the per-phase telemetry never double-attributes it.
+            if new.instructions[hit].phase != instr.phase:
+                new.instructions[hit].phase = None
             return hit
         vid = new.emit(op, args, attr=instr.attr)
         table[key] = vid
@@ -235,8 +242,10 @@ def dead_code_elimination(module: IRModule) -> IRModule:
         if not live[vid]:
             continue
         new.current_lane = instr.lane
+        new.current_phase = instr.phase
         remap[vid] = new.emit(instr.op, tuple(remap[a] for a in instr.args), attr=instr.attr)
     new.current_lane = None
+    new.current_phase = None
     return new
 
 

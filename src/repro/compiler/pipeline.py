@@ -30,6 +30,7 @@ from repro.compiler.schedule import (
 )
 from repro.errors import CompilerError
 from repro.fields.variants import VariantConfig
+from repro.pairing.final_exp import validate_final_exp_mode
 from repro.hw.model import HardwareModel
 from repro.hw.presets import default_model
 from repro.ir.lowering import lower_module
@@ -58,6 +59,9 @@ class CompileResult:
     program: object | None             # AssembledProgram (None if assembly skipped)
     # Baseline (program-order) timing, populated on request.
     baseline_cycle_stats: CycleStats | None = None
+    #: Hard-part backend traced into the kernel ("generic" | "cyclotomic" |
+    #: "compressed"); see :data:`repro.pairing.final_exp.FINAL_EXP_MODES`.
+    final_exp_mode: str = "generic"
     # Stage timings in seconds.
     stage_seconds: dict = field(default_factory=dict)
 
@@ -94,6 +98,7 @@ class CompileResult:
             "cycles": self.cycles,
             "ipc": round(self.ipc, 3),
             "registers": self.total_registers,
+            "final_exp_mode": self.final_exp_mode,
             "compile_seconds": round(self.compile_seconds, 2),
         }
 
@@ -134,6 +139,9 @@ class MultiPairingCompileResult:
     split_accumulators: bool = False
     #: Number of independent accumulator chains in the kernel (1 = shared).
     accumulator_groups: int = 1
+    #: Hard-part backend traced into the kernel ("generic" | "cyclotomic" |
+    #: "compressed").
+    final_exp_mode: str = "generic"
     stage_seconds: dict = field(default_factory=dict)
 
     @property
@@ -182,6 +190,7 @@ class MultiPairingCompileResult:
             "single_core_cycles": self.single_core_cycles,
             "cycles_per_pairing": round(self.cycles_per_pairing, 1),
             "registers": self.total_registers,
+            "final_exp_mode": self.final_exp_mode,
             "compile_seconds": round(self.compile_seconds, 2),
         }
 
@@ -209,6 +218,7 @@ class CompilerPipeline:
         record_trace: bool = False,
         n_pairs: int | None = None,
         split_accumulators: bool = False,
+        final_exp_mode: str = "generic",
     ):
         self.hw = hw
         self.variant_config = variant_config or VariantConfig.all_karatsuba()
@@ -223,6 +233,7 @@ class CompilerPipeline:
                 "split_accumulators applies to batched kernels only (set n_pairs)"
             )
         self.split_accumulators = bool(split_accumulators)
+        self.final_exp_mode = validate_final_exp_mode(final_exp_mode)
 
     # -- individual stages -----------------------------------------------------------
     def _accumulator_groups(self, hw: HardwareModel) -> int | None:
@@ -237,8 +248,10 @@ class CompilerPipeline:
             return generate_multi_pairing_ir(
                 curve, self.n_pairs, use_naf=self.use_naf,
                 accumulator_groups=self._accumulator_groups(hw),
+                final_exp_mode=self.final_exp_mode,
             )
-        return generate_pairing_ir(curve, use_naf=self.use_naf)
+        return generate_pairing_ir(curve, use_naf=self.use_naf,
+                                   final_exp_mode=self.final_exp_mode)
 
     def run_lowering(self, curve, hl_module):
         return lower_module(hl_module, curve.tower.levels, self.variant_config)
@@ -252,22 +265,23 @@ class CompilerPipeline:
                 "single-pairing kernel"
             )
         groups = self._accumulator_groups(hw)
+        fe_mode = self.final_exp_mode
         timings: dict = {}
 
         start = time.perf_counter()
-        hl_module = _cached_hl_module(curve, self.use_naf, n_pairs, groups)
+        hl_module = _cached_hl_module(curve, self.use_naf, n_pairs, groups, fe_mode)
         timings["codegen"] = time.perf_counter() - start
 
         start = time.perf_counter()
         low_module = _cached_low_module(curve, self.variant_config, self.use_naf,
-                                        n_pairs, groups)
+                                        n_pairs, groups, fe_mode)
         timings["lowering"] = time.perf_counter() - start
 
         initial_instructions = low_module.count_compute_ops()
         start = time.perf_counter()
         if self.optimize_ir:
             optimized_module, opt_stats = _cached_optimized(
-                curve, self.variant_config, self.use_naf, n_pairs, groups
+                curve, self.variant_config, self.use_naf, n_pairs, groups, fe_mode
             )
         else:
             optimized_module, opt_stats = low_module, OptStats(
@@ -309,6 +323,8 @@ class CompilerPipeline:
             suffix = "" if n_pairs is None else f"-x{n_pairs}"
             if groups is not None and groups > 1:
                 suffix += f"-split{groups}"
+            if fe_mode != "generic":
+                suffix += f"-fe-{fe_mode}"
             program = assemble(schedule, allocation, name=f"{curve.name}{suffix}-{hw.name}")
             timings["asm+link"] = time.perf_counter() - start
 
@@ -335,6 +351,7 @@ class CompilerPipeline:
             registers_per_bank=dict(allocation.registers_per_bank),
             total_registers=allocation.total_registers,
             program=program,
+            final_exp_mode=fe_mode,
             stage_seconds=timings,
         )
         if n_pairs is not None:
@@ -361,43 +378,55 @@ _RESULT_CACHE = CompileCache("result")
 # caches, namespaced by a leading marker so they can never collide with the
 # single-pairing tuples.  ``groups`` is the accumulator-group count of the
 # split-accumulator kernel (None = shared accumulator): split kernels are a
-# *different trace*, so every stage is keyed on it.
+# *different trace*, so every stage is keyed on it.  The same goes for the
+# final-exponentiation mode: "generic"/"cyclotomic"/"compressed" kernels are
+# different traces and never share a stage entry.
 
 def _stage_key(curve, use_naf: bool, n_pairs: int | None,
-               groups: int | None, *extra) -> tuple:
+               groups: int | None, fe_mode: str, *extra) -> tuple:
     if n_pairs is None:
-        return (curve.name, use_naf, *extra)
-    return ("multi", curve.name, n_pairs, groups, use_naf, *extra)
+        return (curve.name, use_naf, fe_mode, *extra)
+    return ("multi", curve.name, n_pairs, groups, use_naf, fe_mode, *extra)
 
 
 def _cached_hl_module(curve, use_naf: bool, n_pairs: int | None = None,
-                      groups: int | None = None):
+                      groups: int | None = None, fe_mode: str = "generic"):
     def factory():
         if n_pairs is None:
-            return generate_pairing_ir(curve, use_naf=use_naf)
+            return generate_pairing_ir(curve, use_naf=use_naf,
+                                       final_exp_mode=fe_mode)
         return generate_multi_pairing_ir(curve, n_pairs, use_naf=use_naf,
-                                         accumulator_groups=groups)
+                                         accumulator_groups=groups,
+                                         final_exp_mode=fe_mode)
 
-    return _HL_CACHE.get_or_compute(_stage_key(curve, use_naf, n_pairs, groups), factory)
+    return _HL_CACHE.get_or_compute(
+        _stage_key(curve, use_naf, n_pairs, groups, fe_mode), factory
+    )
 
 
 def _cached_low_module(curve, config: VariantConfig, use_naf: bool,
-                       n_pairs: int | None = None, groups: int | None = None):
-    key = _stage_key(curve, use_naf, n_pairs, groups, config.cache_key())
+                       n_pairs: int | None = None, groups: int | None = None,
+                       fe_mode: str = "generic"):
+    key = _stage_key(curve, use_naf, n_pairs, groups, fe_mode, config.cache_key())
     return _LOW_CACHE.get_or_compute(
         key,
-        lambda: lower_module(_cached_hl_module(curve, use_naf, n_pairs, groups),
-                             curve.tower.levels, config),
+        lambda: lower_module(
+            _cached_hl_module(curve, use_naf, n_pairs, groups, fe_mode),
+            curve.tower.levels, config,
+        ),
     )
 
 
 def _cached_optimized(curve, config: VariantConfig, use_naf: bool,
-                      n_pairs: int | None = None, groups: int | None = None):
-    key = _stage_key(curve, use_naf, n_pairs, groups, config.cache_key())
+                      n_pairs: int | None = None, groups: int | None = None,
+                      fe_mode: str = "generic"):
+    key = _stage_key(curve, use_naf, n_pairs, groups, fe_mode, config.cache_key())
     return _OPT_CACHE.get_or_compute(
         key,
-        lambda: optimize(_cached_low_module(curve, config, use_naf, n_pairs, groups),
-                         curve.params.p),
+        lambda: optimize(
+            _cached_low_module(curve, config, use_naf, n_pairs, groups, fe_mode),
+            curve.params.p,
+        ),
     )
 
 
@@ -489,10 +518,18 @@ def compile_pairing(
     include_baseline: bool = False,
     record_trace: bool = False,
     use_cache: bool = True,
+    final_exp_mode: str = "generic",
 ) -> CompileResult:
-    """Compile the pairing kernel for ``curve`` (cached by full configuration)."""
+    """Compile the pairing kernel for ``curve`` (cached by full configuration).
+
+    ``final_exp_mode`` selects the hard-part backend traced into the kernel
+    ("generic", "cyclotomic" or "compressed"); it is part of the semantic
+    cache digest, so the three kernels never share a cached (or disk-stored)
+    artefact.
+    """
     variant_config = variant_config or VariantConfig.all_karatsuba()
     hw_resolved = (hw or default_model(curve.params.p.bit_length())).validate()
+    final_exp_mode = validate_final_exp_mode(final_exp_mode)
     key = CompileCache.make_key(
         curve.name,
         variant_config,
@@ -503,6 +540,7 @@ def compile_pairing(
         do_assemble=do_assemble,
         include_baseline=include_baseline,
         record_trace=record_trace,
+        final_exp_mode=final_exp_mode,
     )
     pipeline = CompilerPipeline(
         hw=hw_resolved,
@@ -512,6 +550,7 @@ def compile_pairing(
         use_affinity=use_affinity,
         do_assemble=do_assemble,
         record_trace=record_trace,
+        final_exp_mode=final_exp_mode,
     )
     return _cached_compile(
         key, use_cache, lambda: pipeline.compile(curve, include_baseline=include_baseline)
@@ -529,6 +568,7 @@ def compile_multi_pairing(
     do_assemble: bool = True,
     use_cache: bool = True,
     split_accumulators: bool = False,
+    final_exp_mode: str = "generic",
 ) -> MultiPairingCompileResult:
     """Compile the batched pairing-product kernel ``Pi e(P_i, Q_i)`` for ``curve``.
 
@@ -549,10 +589,21 @@ def compile_multi_pairing(
     bit-identical; the multi-core schedule no longer serialises the
     accumulator chain on core 0, trading the extra per-group squaring chains
     for near-linear Miller-loop scaling.
+
+    ``final_exp_mode`` selects the hard-part backend of the single fused
+    final exponentiation ("generic", "cyclotomic" or "compressed"); like the
+    batch size and accumulator mode it participates in the semantic cache
+    digest, so kernels of different modes never alias in the two-tier cache.
+    Note that the traced "compressed" kernel is branch-free: unlike the
+    software path it cannot fall back on a degenerate (zero-determinant)
+    Karabina decompression, a data-dependent case of probability
+    ~chain-weight/|F_p^{k/6}| per batch that makes the simulated inversion
+    fail loudly rather than return a wrong product.
     """
     n_pairs = validate_batch_size(n_pairs)
     variant_config = variant_config or VariantConfig.all_karatsuba()
     hw_resolved = (hw or default_model(curve.params.p.bit_length())).validate()
+    final_exp_mode = validate_final_exp_mode(final_exp_mode)
     key = CompileCache.make_key(
         curve.name,
         variant_config,
@@ -565,6 +616,7 @@ def compile_multi_pairing(
         use_naf=use_naf,
         use_affinity=use_affinity,
         do_assemble=do_assemble,
+        final_exp_mode=final_exp_mode,
     )
     pipeline = CompilerPipeline(
         hw=hw_resolved,
@@ -575,5 +627,6 @@ def compile_multi_pairing(
         do_assemble=do_assemble,
         n_pairs=n_pairs,
         split_accumulators=split_accumulators,
+        final_exp_mode=final_exp_mode,
     )
     return _cached_compile(key, use_cache, lambda: pipeline.compile(curve))

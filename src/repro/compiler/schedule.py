@@ -33,13 +33,20 @@ _SCHEDULED_OPS = ("add", "sub", "neg", "dbl", "tpl", "muli", "mul", "sqr", "inv"
 
 
 def unit_of(op: str) -> str:
+    """Execution-unit kind of a schedulable op; unknown ops are a caller bug.
+
+    Returning a silent ``"none"`` here would let an op outside
+    ``_SCHEDULED_OPS`` slip into a schedule with no unit pressure (and a bogus
+    latency), so anything unmapped raises :class:`~repro.errors.CompilerError`
+    instead.
+    """
     if is_multiplicative(op):
         return "long"
     if op == "inv":
         return "inv"
     if is_linear(op):
         return "short"
-    return "none"
+    raise CompilerError(f"op {op!r} has no execution unit (not a schedulable op)")
 
 
 @dataclass

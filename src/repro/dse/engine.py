@@ -65,6 +65,7 @@ from repro.compiler.pipeline import compile_cache_stats
 from repro.curves.catalog import CURVE_SPECS
 from repro.dse.explorer import (
     _resolve_accumulator_policy,
+    _resolve_final_exp_policy,
     evaluate_design_point,
     resolve_objective,
     validate_sweep_batch_size,
@@ -144,7 +145,7 @@ def _stats_delta(after: dict, before: dict) -> dict:
 
 
 def _evaluate_chunk(curve_name, chunk, n_cores, technology, do_assemble, batch_size=None,
-                    split_accumulators="auto"):
+                    split_accumulators="auto", final_exp_mode="cyclotomic"):
     """Worker entry point: evaluate one chunk of (index, point) pairs.
 
     Runs in a separate process; the curve is rebuilt (or found pre-built when
@@ -159,7 +160,8 @@ def _evaluate_chunk(curve_name, chunk, n_cores, technology, do_assemble, batch_s
     evaluated = [
         (index, evaluate_design_point(curve, point, n_cores, technology, do_assemble,
                                       batch_size=batch_size,
-                                      split_accumulators=split_accumulators))
+                                      split_accumulators=split_accumulators,
+                                      final_exp_mode=final_exp_mode))
         for index, point in chunk
     ]
     return evaluated, _stats_delta(compile_cache_stats(), before)
@@ -178,6 +180,7 @@ class ParallelExplorer:
         do_assemble: bool = True,
         batch_size: int | None = None,
         split_accumulators="auto",
+        final_exp_mode="cyclotomic",
     ):
         self.curve = curve
         self.workers = default_workers() if workers is None else max(1, int(workers))
@@ -186,10 +189,11 @@ class ParallelExplorer:
         self.chunk_size = chunk_size
         self.do_assemble = do_assemble
         # Fail fast on degenerate sweep configuration: a bad batch size or
-        # accumulator policy should raise here, not halfway through a sharded
-        # sweep inside a worker process.
+        # accumulator/final-exp policy should raise here, not halfway through
+        # a sharded sweep inside a worker process.
         validate_sweep_batch_size(batch_size)
         _resolve_accumulator_policy(split_accumulators)
+        _resolve_final_exp_policy(final_exp_mode)
         #: When set, rank points on the batched multi-pairing kernel of this
         #: batch size (cycles from the n_cores-core simulation) instead of the
         #: single-pairing kernel.
@@ -200,6 +204,10 @@ class ParallelExplorer:
         #: False/True) force one mode.  The winning mode is recorded per
         #: point in ``DesignMetrics.accumulator_mode``.
         self.split_accumulators = split_accumulators
+        #: Hard-part backend policy: "generic"/"cyclotomic"/"compressed"
+        #: force one kernel per point, "auto" compiles all three and scores
+        #: the winner (recorded in ``DesignMetrics.final_exp_mode``).
+        self.final_exp_mode = final_exp_mode
         #: Metrics of the last sweep, in submission order (mirrors the points list).
         self.evaluated: list = []
         self.last_report: ExplorationReport | None = None
@@ -260,7 +268,8 @@ class ParallelExplorer:
         return [
             evaluate_design_point(self.curve, point, self.n_cores, self.technology,
                                   self.do_assemble, batch_size=self.batch_size,
-                                  split_accumulators=self.split_accumulators)
+                                  split_accumulators=self.split_accumulators,
+                                  final_exp_mode=self.final_exp_mode)
             for point in points
         ]
 
@@ -290,6 +299,7 @@ class ParallelExplorer:
                 [self.do_assemble] * len(chunks),
                 [self.batch_size] * len(chunks),
                 [self.split_accumulators] * len(chunks),
+                [self.final_exp_mode] * len(chunks),
             ):
                 for index, metrics in evaluated:
                     slots[index] = metrics

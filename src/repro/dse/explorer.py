@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from repro.compiler.pipeline import compile_multi_pairing, compile_pairing
 from repro.dse.space import DesignPoint
 from repro.errors import DSEError
+from repro.pairing.final_exp import FINAL_EXP_MODES
 from repro.hw.area import estimate_area
 from repro.hw.technology import TECH_40NM, TechnologyNode
 from repro.hw.timing import frequency_mhz
@@ -30,7 +31,10 @@ class DesignMetrics:
     point: ``"shared"`` (one fused chain) or ``"split"`` (one chain per core,
     merged before the final exponentiation); under the default ``"auto"``
     policy it is whichever of the two simulated to fewer cycles for this
-    design point.
+    design point.  ``final_exp_mode`` records the hard-part backend of the
+    scoring kernel the same way ("generic" | "cyclotomic" | "compressed");
+    under its ``"auto"`` policy it is the mode that simulated to the fewest
+    cycles.
     """
 
     label: str
@@ -47,6 +51,7 @@ class DesignMetrics:
     batch: int = 1
     cycles_per_pairing: float = 0.0
     accumulator_mode: str = "shared"
+    final_exp_mode: str = "generic"
 
     def describe(self) -> dict:
         return {
@@ -63,6 +68,7 @@ class DesignMetrics:
             "batch": self.batch,
             "cycles_per_pairing": round(self.cycles_per_pairing or self.cycles, 1),
             "accumulator_mode": self.accumulator_mode,
+            "final_exp_mode": self.final_exp_mode,
         }
 
 
@@ -88,6 +94,10 @@ def resolve_objective(objective):
 #: Accepted values of the ``split_accumulators`` evaluation policy.
 ACCUMULATOR_POLICIES = ("auto", "shared", "split")
 
+#: Accepted values of the ``final_exp_mode`` evaluation policy: the three
+#: concrete kernel modes plus "auto" (compile all three, score the winner).
+FINAL_EXP_POLICIES = ("auto",) + FINAL_EXP_MODES
+
 
 def validate_sweep_batch_size(batch_size):
     """``None`` (single-pairing kernel) or a positive integer; bools and
@@ -101,6 +111,21 @@ def validate_sweep_batch_size(batch_size):
             f"single-pairing kernel), got {batch_size!r}"
         )
     return batch_size
+
+
+def _resolve_final_exp_policy(final_exp_mode) -> tuple:
+    """Normalise the knob into the tuple of kernel modes to compile.
+
+    ``"auto"`` compiles every mode and lets the cycle ranking pick; a concrete
+    mode compiles just that one.  Anything else raises ``ValueError`` at entry.
+    """
+    if final_exp_mode == "auto":
+        return FINAL_EXP_MODES
+    if final_exp_mode in FINAL_EXP_MODES:
+        return (final_exp_mode,)
+    raise ValueError(
+        f"final_exp_mode must be one of {FINAL_EXP_POLICIES}, got {final_exp_mode!r}"
+    )
 
 
 def _resolve_accumulator_policy(split_accumulators) -> str:
@@ -129,6 +154,7 @@ def evaluate_design_point(
     do_assemble: bool = True,
     batch_size: int | None = None,
     split_accumulators="auto",
+    final_exp_mode="cyclotomic",
 ) -> DesignMetrics:
     """Compile + simulate + price one design point.
 
@@ -146,6 +172,12 @@ def evaluate_design_point(
     serialisation.  The chosen mode is recorded in
     :attr:`DesignMetrics.accumulator_mode`.
 
+    ``final_exp_mode`` selects the hard-part backend the same way:
+    ``"generic"``, ``"cyclotomic"`` (the default -- the optimized kernel the
+    co-design loop should rank against) or ``"compressed"`` force one kernel;
+    ``"auto"`` compiles all three and scores the point on the fastest, with
+    the winner recorded in :attr:`DesignMetrics.final_exp_mode`.
+
     Degenerate inputs fail loudly at entry: a non-positive or non-integral
     ``batch_size`` or ``n_cores`` raises ``ValueError`` instead of compiling a
     nonsense kernel or reporting a nonsense throughput.
@@ -158,38 +190,53 @@ def evaluate_design_point(
     # before it turns into a degenerate kernel or a nonsense throughput figure.
     validate_sweep_batch_size(batch_size)
     policy = _resolve_accumulator_policy(split_accumulators)
+    fe_modes = _resolve_final_exp_policy(final_exp_mode)
     freq = frequency_mhz(point.hw.word_width, point.hw.long_latency, technology)
+    #: Deterministic tie-breaks: fewest cycles first, then the simpler shared
+    #: kernel, then the declaration order of FINAL_EXP_MODES.
     accumulator_mode = "shared"
     if batch_size is not None:
         hw_cores = point.hw.with_cores(n_cores)
         candidates = {}
-        if policy in ("auto", "shared"):
-            candidates["shared"] = compile_multi_pairing(
-                curve, batch_size, hw=hw_cores,
-                variant_config=point.variant_config, do_assemble=do_assemble,
-            )
-        if policy == "split" or (policy == "auto" and n_cores > 1):
-            # On one core the split kernel degenerates to the shared one, so
-            # "auto" skips the redundant compile there.
-            candidates["split"] = compile_multi_pairing(
-                curve, batch_size, hw=hw_cores,
-                variant_config=point.variant_config, do_assemble=do_assemble,
-                split_accumulators=True,
-            )
-        # Rank the modes per design point: fewest batch cycles wins; the
-        # deterministic tie-break prefers the simpler shared kernel.
-        accumulator_mode = min(
-            candidates, key=lambda mode: (candidates[mode].cycles, mode != "shared")
+        for fe_mode in fe_modes:
+            if policy in ("auto", "shared"):
+                candidates[("shared", fe_mode)] = compile_multi_pairing(
+                    curve, batch_size, hw=hw_cores,
+                    variant_config=point.variant_config, do_assemble=do_assemble,
+                    final_exp_mode=fe_mode,
+                )
+            if policy == "split" or (policy == "auto" and n_cores > 1):
+                # On one core the split kernel degenerates to the shared one,
+                # so "auto" skips the redundant compile there.
+                candidates[("split", fe_mode)] = compile_multi_pairing(
+                    curve, batch_size, hw=hw_cores,
+                    variant_config=point.variant_config, do_assemble=do_assemble,
+                    split_accumulators=True, final_exp_mode=fe_mode,
+                )
+        accumulator_mode, fe_winner = min(
+            candidates,
+            key=lambda key: (candidates[key].cycles, key[0] != "shared",
+                             FINAL_EXP_MODES.index(key[1])),
         )
-        result = candidates[accumulator_mode]
+        result = candidates[(accumulator_mode, fe_winner)]
         latency_us = result.cycles / freq
         # The multi-core simulation already models the cores; throughput is
         # pairings per second of one such multi-core accelerator.
         throughput = batch_size * 1e6 / latency_us
         cycles_per_pairing = result.cycles_per_pairing
     else:
-        result = compile_pairing(curve, hw=point.hw, variant_config=point.variant_config,
-                                 do_assemble=do_assemble)
+        candidates = {
+            fe_mode: compile_pairing(
+                curve, hw=point.hw, variant_config=point.variant_config,
+                do_assemble=do_assemble, final_exp_mode=fe_mode,
+            )
+            for fe_mode in fe_modes
+        }
+        fe_winner = min(
+            candidates,
+            key=lambda mode: (candidates[mode].cycles, FINAL_EXP_MODES.index(mode)),
+        )
+        result = candidates[fe_winner]
         latency_us = result.cycles / freq
         throughput = n_cores * 1e6 / latency_us
         cycles_per_pairing = float(result.cycles)
@@ -210,6 +257,7 @@ def evaluate_design_point(
         batch=batch_size or 1,
         cycles_per_pairing=cycles_per_pairing,
         accumulator_mode=accumulator_mode,
+        final_exp_mode=fe_winner,
     )
 
 

@@ -22,6 +22,13 @@ The shared kernel is compiled once per batch size and re-simulated per core
 count.  The split kernel's *trace* depends on its group count, so it is
 compiled once per (batch size, core count > 1) pair; on one core it
 degenerates to the shared kernel and the shared numbers are reported.
+
+The ``final_exp`` section additionally compiles the largest batch once per
+final-exponentiation mode (``generic`` | ``cyclotomic`` | ``compressed``,
+see :mod:`repro.fields.cyclotomic`) in both accumulator modes and records the
+total cycles plus the final-exp phase share from the per-phase simulator
+telemetry -- the cells ``compare_bench.py`` guards so a regression in the
+cyclotomic fast path fails CI like any other cycle regression.
 """
 
 from __future__ import annotations
@@ -30,6 +37,7 @@ from repro.compiler.pipeline import compile_multi_pairing
 from repro.curves.catalog import get_curve
 from repro.evaluation.common import bench_scale, codesign_curve_name
 from repro.hw.presets import paper_hw1
+from repro.pairing.final_exp import FINAL_EXP_MODES
 from repro.sim.cycle import CycleAccurateSimulator
 
 #: Core counts simulated for every batch size.
@@ -51,6 +59,43 @@ def _cell(total_cycles: int, batch: int, base_cycles: int) -> dict:
         "cycles_per_pairing": round(total_cycles / batch, 1),
         "speedup": round(base_cycles / total_cycles, 3) if total_cycles else 0.0,
     }
+
+
+def _fe_cell(stats, batch: int) -> dict:
+    """One final-exp-mode cell: batch cycles plus the final-exp phase share."""
+    fe = stats.phase_stats.get("final_exp", {})
+    fe_cycles = fe.get("cycles", 0)
+    return {
+        "cycles": stats.total_cycles,
+        "cycles_per_pairing": round(stats.total_cycles / batch, 1),
+        "final_exp_cycles": fe_cycles,
+        "final_exp_share": round(fe_cycles / stats.total_cycles, 3)
+        if stats.total_cycles else 0.0,
+    }
+
+
+def _final_exp_table(curve, hw, simulator, batch: int) -> dict:
+    """Cycles and final-exp share per (fe mode, accumulator mode, core count)."""
+    modes: dict = {}
+    for fe_mode in FINAL_EXP_MODES:
+        cells: dict = {"shared": {}, "split": {}}
+        shared = compile_multi_pairing(curve, batch, hw=hw, do_assemble=False,
+                                       final_exp_mode=fe_mode)
+        for n_cores in CORE_COUNTS:
+            if n_cores == 1:
+                shared_stats = shared.multicore_stats
+                split_stats = shared_stats
+            else:
+                shared_stats = simulator.run_multicore(shared.schedule, n_cores)
+                split = compile_multi_pairing(
+                    curve, batch, hw=hw.with_cores(n_cores), do_assemble=False,
+                    split_accumulators=True, final_exp_mode=fe_mode,
+                )
+                split_stats = split.multicore_stats
+            cells["shared"][f"c{n_cores}"] = _fe_cell(shared_stats, batch)
+            cells["split"][f"c{n_cores}"] = _fe_cell(split_stats, batch)
+        modes[fe_mode] = cells
+    return {"batch": batch, "modes": modes}
 
 
 def run(scale: str | None = None) -> dict:
@@ -102,11 +147,15 @@ def run(scale: str | None = None) -> dict:
         "core_counts": list(CORE_COUNTS),
         "modes": list(MODES),
         "rows": rows,
+        "final_exp_modes": list(FINAL_EXP_MODES),
+        "final_exp": _final_exp_table(curve, hw, simulator, _batches(scale)[-1]),
         "paper_claim": (
             "batching amortises the final exponentiation and the shared accumulator "
             "squarings; replicated cores overlap the independent per-pair line "
             "evaluations with the shared accumulator work; split accumulators trade "
-            "one extra squaring chain per core for near-linear Miller-loop scaling"
+            "one extra squaring chain per core for near-linear Miller-loop scaling; "
+            "Granger-Scott/Karabina cyclotomic arithmetic shrinks the remaining "
+            "final-exponentiation tail"
         ),
     }
 
@@ -123,4 +172,15 @@ def render(result: dict) -> str:
                 for label, entry in row_modes[mode].items()
             )
             lines.append(f"  batch={row['batch']:<2} {mode:<6} {cells}")
+    fe = result.get("final_exp")
+    if fe:
+        lines.append(f"Final-exp modes at batch={fe['batch']} "
+                     "(cycles [final-exp share]):")
+        for fe_mode, cells in fe["modes"].items():
+            for acc_mode in ("shared", "split"):
+                row = ", ".join(
+                    f"{label}={entry['cycles']} [{entry['final_exp_share']:.0%}]"
+                    for label, entry in cells[acc_mode].items()
+                )
+                lines.append(f"  {fe_mode:<11} {acc_mode:<6} {row}")
     return "\n".join(lines)

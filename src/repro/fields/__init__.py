@@ -18,8 +18,24 @@ from repro.fields.variants import (
     list_variants,
     VARIANT_REGISTRY,
 )
+from repro.fields.cyclotomic import (
+    CompressedElement,
+    batch_inverse,
+    compress,
+    compressed_square,
+    cyclotomic_square,
+    decompress_batch,
+    power_signed,
+)
 
 __all__ = [
+    "CompressedElement",
+    "batch_inverse",
+    "compress",
+    "compressed_square",
+    "cyclotomic_square",
+    "decompress_batch",
+    "power_signed",
     "PrimeField",
     "FpElement",
     "ExtensionField",

@@ -41,6 +41,20 @@ class IRBuilder:
         finally:
             self.module.current_lane = previous
 
+    @contextmanager
+    def phase(self, name: str | None):
+        """Stamp instructions emitted inside the block with kernel phase ``name``.
+
+        Phases ("miller", "final_exp") ride through lowering and IROpt exactly
+        like lanes, feeding the per-phase cycle telemetry of the simulators.
+        """
+        previous = self.module.current_phase
+        self.module.current_phase = name
+        try:
+            yield self
+        finally:
+            self.module.current_phase = previous
+
     # -- value creation ------------------------------------------------------------
     def input(self, field, name: str) -> "TraceElement":
         vid = self.emit("input", (), field.degree, attr=name)
@@ -50,10 +64,10 @@ class IRBuilder:
         key = (element.field.degree, tuple(element.to_base_coeffs()))
         vid = self._const_cache.get(key)
         if vid is None:
-            # Constants are cached across lanes, so they are always shared:
-            # a lane-stamped const reused by a different lane would lie to
-            # the multi-core partitioner.
-            with self.lane(None):
+            # Constants are cached across lanes (and phases), so they are
+            # always shared: a lane-stamped const reused by a different lane
+            # would lie to the multi-core partitioner.
+            with self.lane(None), self.phase(None):
                 vid = self.emit("const", (), element.field.degree, attr=element)
             self._const_cache[key] = vid
         return TraceElement(self, vid, element.field)
@@ -66,6 +80,21 @@ class IRBuilder:
         vids = tuple(part.vid for part in parts)
         vid = self.emit("pack", vids, result_field.degree)
         return TraceElement(self, vid, result_field)
+
+    def extract(self, value: "TraceElement", index: int, coeff_field) -> "TraceElement":
+        """Select w-power-basis coefficient ``index`` of a full-field value.
+
+        The inverse of :meth:`pack`; lowering turns it into pure wiring (no
+        F_p instructions), so the cyclotomic fast path pays nothing for
+        coefficient access.  The index is validated here, at trace time, so
+        the high-level interpreter and lowering can never disagree on an
+        out-of-range (e.g. negative) coefficient.
+        """
+        index = int(index)
+        if not 0 <= index < 6:
+            raise IRError(f"ext expects a w-power index in 0..5, got {index}")
+        vid = self.emit("ext", (value.vid,), coeff_field.degree, attr=index)
+        return TraceElement(self, vid, coeff_field)
 
 
 class TraceElement:

@@ -114,6 +114,11 @@ def interpret_high_level(module, levels: dict, inputs: dict) -> dict:
             mid0 = mid.element((resolved[0], resolved[2], resolved[4]))
             mid1 = mid.element((resolved[1], resolved[3], resolved[5]))
             values[vid] = field.element((mid0, mid1))
+        elif op == "ext":
+            index = instr.attr
+            mid0, mid1 = values[args[0]].coeffs
+            source = mid0 if index % 2 == 0 else mid1
+            values[vid] = source.coeffs[index // 2]
         else:
             raise IRError(f"cannot interpret high-level op {op!r}")
     return outputs

@@ -68,13 +68,15 @@ class _Lowerer:
     def const(self, value: int) -> int:
         vid = self._const_cache.get(value)
         if vid is None:
-            # The constant pool is shared across lanes (see IRBuilder.constant).
-            previous = self.low.current_lane
+            # The constant pool is shared across lanes and phases (see
+            # IRBuilder.constant).
+            previous = (self.low.current_lane, self.low.current_phase)
             self.low.current_lane = None
+            self.low.current_phase = None
             try:
                 vid = self.emit("const", (), attr=value)
             finally:
-                self.low.current_lane = previous
+                self.low.current_lane, self.low.current_phase = previous
             self._const_cache[value] = vid
         return vid
 
@@ -270,9 +272,10 @@ def lower_module(hl: IRModule, levels: dict, config: VariantConfig | None = None
         op = instr.op
         degree = instr.degree
         # Every F_p instruction expanded from this high-level op inherits its
-        # batch lane, keeping the per-pair partition visible to the multi-core
-        # scheduler after scalarisation.
+        # batch lane and kernel phase, keeping the per-pair partition (and the
+        # miller/final-exp telemetry split) visible after scalarisation.
         lowerer.low.current_lane = instr.lane
+        lowerer.low.current_phase = instr.phase
         if op == "input":
             expansion[vid] = tuple(
                 lowerer.emit("input", (), attr=(instr.attr, j)) for j in range(degree)
@@ -337,8 +340,22 @@ def lower_module(hl: IRModule, levels: dict, config: VariantConfig | None = None
                 raise IRError("pack expects exactly 6 coefficients over the twist field")
             order = (0, 2, 4, 1, 3, 5)
             expansion[vid] = tuple(v for index in order for v in parts[index])
+        elif op == "ext":
+            # Coefficient selection is pure wiring: slice the producer's
+            # expansion at the storage slot of w-power index attr.  The
+            # storage layout interleaves even/odd w powers (see "pack").
+            index = instr.attr
+            if not isinstance(index, int) or not 0 <= index < 6:
+                raise IRError(f"ext expects a w-power index in 0..5, got {index!r}")
+            parts = expansion[instr.args[0]]
+            chunk = degree
+            if len(parts) != 6 * chunk:
+                raise IRError("ext requires a full-field operand over the twist field")
+            slot = index // 2 if index % 2 == 0 else 3 + index // 2
+            expansion[vid] = parts[slot * chunk:(slot + 1) * chunk]
         else:
             raise IRError(f"cannot lower high-level op {op!r}")
 
     lowerer.low.current_lane = None
+    lowerer.low.current_phase = None
     return lowerer.low

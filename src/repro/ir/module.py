@@ -12,7 +12,7 @@ from repro.ir.ops import op_info
 
 
 class Instruction:
-    """One SSA instruction: ``%id = op(args) : degree [attr] [lane]``.
+    """One SSA instruction: ``%id = op(args) : degree [attr] [lane] [phase]``.
 
     ``lane`` partitions a batched kernel into independent work streams: the
     per-pair line evaluations of a multi-pairing carry their pair index, while
@@ -20,27 +20,36 @@ class Instruction:
     The multi-core scheduler (:mod:`repro.sim.cycle`) distributes lanes across
     :attr:`~repro.hw.model.HardwareModel.n_cores`; single-pairing kernels are
     entirely lane-``None`` and unaffected.
+
+    ``phase`` tags the kernel phase that emitted the instruction (``"miller"``
+    or ``"final_exp"`` for the pairing kernels, ``None`` = untagged) the same
+    way lanes tag batch streams; the cycle-accurate simulators aggregate
+    per-phase instruction and cycle telemetry from it
+    (:attr:`repro.sim.cycle.CycleStats.phase_stats`).
     """
 
-    __slots__ = ("op", "args", "degree", "attr", "lane")
+    __slots__ = ("op", "args", "degree", "attr", "lane", "phase")
 
-    def __init__(self, op: str, args: tuple, degree: int = 1, attr=None, lane=None):
+    def __init__(self, op: str, args: tuple, degree: int = 1, attr=None, lane=None,
+                 phase=None):
         self.op = op
         self.args = args
         self.degree = degree
         self.attr = attr
         self.lane = lane
+        self.phase = phase
 
     def __getstate__(self):
-        return (self.op, self.args, self.degree, self.attr, self.lane)
+        return (self.op, self.args, self.degree, self.attr, self.lane, self.phase)
 
     def __setstate__(self, state):
-        self.op, self.args, self.degree, self.attr, self.lane = state
+        self.op, self.args, self.degree, self.attr, self.lane, self.phase = state
 
     def __repr__(self) -> str:
         attr = f" attr={self.attr!r}" if self.attr is not None else ""
         lane = f" lane={self.lane}" if self.lane is not None else ""
-        return f"{self.op}({', '.join(map(str, self.args))}) : fp{self.degree}{attr}{lane}"
+        phase = f" phase={self.phase}" if self.phase is not None else ""
+        return f"{self.op}({', '.join(map(str, self.args))}) : fp{self.degree}{attr}{lane}{phase}"
 
 
 class IRModule:
@@ -54,6 +63,8 @@ class IRModule:
         self.outputs: list = []            # instruction ids of output ops
         #: Lane stamped on emitted instructions (``None`` = shared work).
         self.current_lane = None
+        #: Kernel phase stamped on emitted instructions (``None`` = untagged).
+        self.current_phase = None
         #: Kernel-level facts that must survive lowering and every IROpt
         #: rebuild (each pass copies it alongside the lanes).  The batched
         #: codegen records the kernel shape here -- most importantly
@@ -66,7 +77,8 @@ class IRModule:
 
     # -- construction ------------------------------------------------------------
     def emit(self, op: str, args: tuple = (), degree: int = 1, attr=None) -> int:
-        instr = Instruction(op, tuple(args), degree, attr, lane=self.current_lane)
+        instr = Instruction(op, tuple(args), degree, attr, lane=self.current_lane,
+                            phase=self.current_phase)
         self.instructions.append(instr)
         vid = len(self.instructions) - 1
         if op == "input":
@@ -90,6 +102,16 @@ class IRModule:
             if instr.op in skip:
                 continue
             histogram[instr.lane] = histogram.get(instr.lane, 0) + 1
+        return histogram
+
+    def phase_histogram(self) -> dict:
+        """Compute-op counts per kernel phase (``None`` = untagged work)."""
+        histogram: dict = {}
+        skip = ("const", "input", "output")
+        for instr in self.instructions:
+            if instr.op in skip:
+                continue
+            histogram[instr.phase] = histogram.get(instr.phase, 0) + 1
         return histogram
 
     def op_histogram(self) -> dict:

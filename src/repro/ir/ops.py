@@ -42,6 +42,9 @@ _OPS = [
     OpInfo("conj", 1, level="high"),
     OpInfo("frob", 1, has_attr=True, level="high"),
     OpInfo("pack", -1, level="high"),
+    # Coefficient extraction over the twist field (inverse of pack).  Free:
+    # lowering turns it into pure wiring, no F_p instructions are emitted.
+    OpInfo("ext", 1, has_attr=True, level="high"),
     # Curve ops of Table 4 (kept for the operator-kit demonstrations; the pairing
     # code generator expands point arithmetic at trace time).
     OpInfo("padd", 2, level="high"),

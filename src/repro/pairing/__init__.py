@@ -11,9 +11,13 @@ from repro.pairing.batch import (
     split_batched_miller_loop,
 )
 from repro.pairing.context import ConcretePairingContext, PairingContext
-from repro.pairing.exponent import FinalExpPlan, solve_final_exp_plan
+from repro.pairing.exponent import FinalExpPlan, signed_digits, solve_final_exp_plan
+from repro.pairing.final_exp import FINAL_EXP_MODES, final_exponentiation
 
 __all__ = [
+    "FINAL_EXP_MODES",
+    "final_exponentiation",
+    "signed_digits",
     "optimal_ate_pairing",
     "multi_pairing",
     "precompute_g2",

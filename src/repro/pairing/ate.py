@@ -36,7 +36,8 @@ def as_affine_pair(point, role: str = "point"):
 _as_affine_pair = as_affine_pair
 
 
-def optimal_ate_pairing(curve, P, Q, mode: str = "optimized", use_naf: bool = True):
+def optimal_ate_pairing(curve, P, Q, mode: str = "optimized", use_naf: bool = True,
+                        final_exp_mode: str = "cyclotomic"):
     """Compute the optimal Ate pairing e(P, Q) on ``curve``.
 
     Parameters
@@ -54,6 +55,11 @@ def optimal_ate_pairing(curve, P, Q, mode: str = "optimized", use_naf: bool = Tr
         reference result raised to ``final_exp_plan.c``.
     use_naf:
         Use the NAF form of the loop scalar (optimised mode only).
+    final_exp_mode:
+        Hard-part backend (:data:`repro.pairing.final_exp.FINAL_EXP_MODES`).
+        The default "cyclotomic" (Granger-Scott squarings + NAF seed chains)
+        is bit-exact with "generic" and strictly cheaper; "compressed" adds
+        Karabina compressed squaring chains.
     """
     P_affine = as_affine_pair(P, role="P (G1 point)")
     Q_affine = as_affine_pair(Q, role="Q (G2 point)")
@@ -67,4 +73,4 @@ def optimal_ate_pairing(curve, P, Q, mode: str = "optimized", use_naf: bool = Tr
 
     ctx = ConcretePairingContext(curve)
     f = miller_loop(ctx, P_affine, Q_affine, use_naf=use_naf)
-    return final_exponentiation(ctx, f)
+    return final_exponentiation(ctx, f, mode=final_exp_mode)

@@ -376,7 +376,8 @@ def _make_sources(ctx, curve, pairs, use_naf: bool) -> list:
     return sources
 
 
-def multi_pairing(curve, pairs, use_naf: bool = True, accumulators: int = 1):
+def multi_pairing(curve, pairs, use_naf: bool = True, accumulators: int = 1,
+                  final_exp_mode: str = "cyclotomic"):
     """Compute the pairing product ``Pi e(P_i, Q_i)`` with one shared pipeline.
 
     Equivalent to the product of :func:`repro.pairing.ate.optimal_ate_pairing`
@@ -391,6 +392,12 @@ def multi_pairing(curve, pairs, use_naf: bool = True, accumulators: int = 1):
     exponentiation -- the split-accumulator mode mirrored by the compiled
     ``compile_multi_pairing(..., split_accumulators=True)`` kernel.  The value
     is identical for every ``g``.
+
+    ``final_exp_mode`` selects the hard-part backend of the single final
+    exponentiation ("generic" | "cyclotomic" | "compressed"); all three
+    return the identical product (the software "compressed" path falls back
+    to Granger-Scott squarings on the measure-zero degenerate Karabina
+    determinants), the default "cyclotomic" fast path is strictly cheaper.
     """
     accumulators = validate_accumulator_count(accumulators)
     try:
@@ -408,4 +415,4 @@ def multi_pairing(curve, pairs, use_naf: bool = True, accumulators: int = 1):
         return curve.tower.full_field.one()
 
     f = batched_miller_loop(ctx, sources, use_naf=use_naf, accumulators=accumulators)
-    return final_exponentiation(ctx, f)
+    return final_exponentiation(ctx, f, mode=final_exp_mode)

@@ -48,6 +48,21 @@ class PairingContext:
         """The pair (c_x, c_y) with psi^-1(pi_p^n(psi(Q))) = (frob^n(x) c_x, frob^n(y) c_y)."""
         raise NotImplementedError
 
+    def full_w_coeffs(self, value):
+        """Decompose an F_p^k value into its 6 coefficients over F_p^{k/6}.
+
+        The inverse of :meth:`full_from_w_coeffs` (w-power basis, index 0..5).
+        Coefficient selection is free: concrete elements expose their tower
+        structure and the compiler lowers the extraction to pure wiring.  Used
+        by the cyclotomic fast path of the final exponentiation
+        (:mod:`repro.fields.cyclotomic`).
+        """
+        raise NotImplementedError
+
+    def twist_xi_value(self):
+        """The sextic non-residue xi (with w^6 = xi) as a twist-field value."""
+        raise NotImplementedError
+
 
 class ConcretePairingContext(PairingContext):
     """Context backed by a :class:`repro.curves.catalog.PairingCurve`."""
@@ -83,3 +98,16 @@ class ConcretePairingContext(PairingContext):
 
     def twist_frobenius_constants(self, n: int):
         return self.curve.twist_frobenius_constants(n)
+
+    def full_w_coeffs(self, value):
+        if value.field != self._tower.full_field:
+            raise PairingError("full_w_coeffs expects an F_p^k element")
+        mid0, mid1 = value.coeffs
+        coeffs = [None] * 6
+        for i in range(3):
+            coeffs[2 * i] = mid0.coeffs[i]
+            coeffs[2 * i + 1] = mid1.coeffs[i]
+        return coeffs
+
+    def twist_xi_value(self):
+        return self._tower.twist_xi

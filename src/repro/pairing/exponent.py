@@ -20,7 +20,7 @@ decomposition exists.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from fractions import Fraction
 
 from repro.curves.families import CurveFamily, FamilyParams
@@ -119,12 +119,47 @@ def hard_exponent(params: FamilyParams) -> int:
     return phi // params.r
 
 
+def signed_digits(value: int) -> tuple:
+    """Non-adjacent-form digits of ``value >= 1`` (little-endian, in {-1, 0, 1}).
+
+    The NAF has minimal weight among signed-binary representations, and in the
+    cyclotomic subgroup a negative digit costs only a conjugation -- which is
+    why the recoded chains cached on :class:`FinalExpPlan` strictly win over
+    plain binary there.
+    """
+    if value < 1:
+        raise PairingError("signed-digit recoding requires a positive magnitude")
+    digits = []
+    while value:
+        if value & 1:
+            digit = 2 - (value % 4)
+            value -= digit
+        else:
+            digit = 0
+        digits.append(digit)
+        value >>= 1
+    return tuple(digits)
+
+
+#: Upper bound on the bit-length of seed/coefficient exponentiation chains.
+#: Real seeds top out near 160 bits; anything wildly larger is a corrupted
+#: plan, and evaluating it would silently burn an unbounded squaring chain.
+MAX_CHAIN_BITS = 512
+
+
 @dataclass(frozen=True)
 class FinalExpPlan:
     """Evaluation plan for the hard part of the final exponentiation.
 
     ``mode`` is "poly" (small polynomial digits in the seed ``u``) or "numeric"
     (big-integer base-p digits).  The plan computes ``f ** (c * Phi_k(p)/r)``.
+
+    The plan's shape is validated eagerly at construction (malformed plans
+    used to surface only as silent fallbacks or crashes deep inside
+    ``hard_part``), and the signed-digit chains the cyclotomic fast path
+    evaluates -- the NAF of the seed and of every small polynomial
+    coefficient -- are recoded once here and cached with the plan, which is
+    itself cached per curve by the catalog.
     """
 
     c: int
@@ -135,6 +170,76 @@ class FinalExpPlan:
     digits: tuple | None
     u: int
     p: int
+    #: NAF chain of ``abs(u)`` (poly mode; empty tuple otherwise).
+    seed_chain: tuple = field(init=False, repr=False, compare=False, default=())
+    #: NAF chains of every distinct non-zero ``abs(coeff)`` in the plan.
+    small_chains: dict = field(init=False, repr=False, compare=False,
+                               default_factory=dict)
+
+    def __post_init__(self):
+        if self.mode not in ("poly", "numeric"):
+            raise PairingError(f"unknown final-exponentiation plan mode {self.mode!r}")
+        if not isinstance(self.p, int) or self.p < 2:
+            raise PairingError("final-exponentiation plan needs a prime p >= 2")
+        if not isinstance(self.c, int) or self.c < 1:
+            raise PairingError("final-exponentiation plan cofactor c must be >= 1")
+        if self.mode == "poly":
+            self._validate_poly()
+            object.__setattr__(self, "seed_chain", signed_digits(abs(self.u)))
+            chains = {}
+            for row in self.lambda_coeffs:
+                for coeff in row:
+                    magnitude = abs(coeff)
+                    if magnitude and magnitude not in chains:
+                        chains[magnitude] = signed_digits(magnitude)
+            object.__setattr__(self, "small_chains", chains)
+        else:
+            self._validate_numeric()
+
+    def _validate_poly(self):
+        if not isinstance(self.u, int) or self.u == 0:
+            raise PairingError("poly-mode plan requires a non-zero integer seed")
+        if abs(self.u).bit_length() > MAX_CHAIN_BITS:
+            raise PairingError(
+                f"seed magnitude exceeds {MAX_CHAIN_BITS} bits; refusing the "
+                "exponentiation chain"
+            )
+        rows = self.lambda_coeffs
+        if not isinstance(rows, tuple) or not rows:
+            raise PairingError("poly-mode plan requires a non-empty lambda_coeffs tuple")
+        any_nonzero = False
+        for row in rows:
+            if not isinstance(row, tuple):
+                raise PairingError("lambda_coeffs rows must be tuples of integers")
+            for coeff in row:
+                if not isinstance(coeff, int) or isinstance(coeff, bool):
+                    raise PairingError("lambda coefficients must be plain integers")
+                if abs(coeff).bit_length() > MAX_CHAIN_BITS:
+                    raise PairingError(
+                        f"lambda coefficient exceeds {MAX_CHAIN_BITS} bits; "
+                        "refusing the exponentiation chain"
+                    )
+                any_nonzero = any_nonzero or coeff != 0
+        if not any_nonzero:
+            raise PairingError("poly-mode plan has no non-zero lambda coefficient")
+        # max_u_degree >= 0 is implied by the non-empty rows checked above; an
+        # all-empty-row plan would evaluate to nothing, so reject it too.
+        if self.max_u_degree < 0 or all(len(row) == 0 for row in rows):
+            raise PairingError("poly-mode plan has empty coefficient rows")
+
+    def _validate_numeric(self):
+        digits = self.digits
+        if not isinstance(digits, tuple) or not digits:
+            raise PairingError("numeric-mode plan requires a non-empty digits tuple")
+        any_nonzero = False
+        for digit in digits:
+            if not isinstance(digit, int) or isinstance(digit, bool):
+                raise PairingError("numeric digits must be plain integers")
+            if digit < 0 or digit >= self.p:
+                raise PairingError("numeric digits must lie in [0, p)")
+            any_nonzero = any_nonzero or digit != 0
+        if not any_nonzero:
+            raise PairingError("numeric-mode plan realises the zero exponent")
 
     @property
     def max_u_degree(self) -> int:
@@ -190,14 +295,19 @@ def solve_final_exp_plan(family: CurveFamily, params: FamilyParams) -> FinalExpP
         digits = _base_p_polynomial_digits(_poly_scale(e_poly, c), p_poly)
         if all(coeff.denominator == 1 for digit in digits for coeff in digit):
             lambda_coeffs = tuple(tuple(int(coeff) for coeff in digit) for digit in digits)
-            plan = FinalExpPlan(
-                c=c,
-                mode="poly",
-                lambda_coeffs=lambda_coeffs,
-                digits=None,
-                u=params.u,
-                p=params.p,
-            )
+            try:
+                plan = FinalExpPlan(
+                    c=c,
+                    mode="poly",
+                    lambda_coeffs=lambda_coeffs,
+                    digits=None,
+                    u=params.u,
+                    p=params.p,
+                )
+            except PairingError:
+                # Shape-invalid candidate (e.g. degenerate coefficients):
+                # keep searching; the numeric fallback is always available.
+                continue
             if plan.exponent() == c * target:
                 return plan
 

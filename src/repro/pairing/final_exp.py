@@ -4,12 +4,44 @@ The easy part raises the Miller value to ``(p^{k/2} - 1)(p^{k/d} + 1)`` using on
 field inversion, one conjugation and Frobenius maps.  The hard part evaluates the
 plan produced by :mod:`repro.pairing.exponent` in the cyclotomic subgroup, where
 inversion is a conjugation.
+
+Hard-part modes
+---------------
+Everything downstream of :func:`easy_part` lives in the cyclotomic subgroup, so
+the hard part can swap its squaring backend (:mod:`repro.fields.cyclotomic`):
+
+``"generic"``
+    Plain binary square-and-multiply on generic ``F_p^k`` arithmetic -- the
+    historical baseline every other mode is bit-exact against.
+``"cyclotomic"``
+    Granger-Scott cyclotomic squarings plus signed-digit (NAF) recoding of the
+    seed and coefficient chains (negative digits are free conjugations), using
+    the chains cached on :class:`~repro.pairing.exponent.FinalExpPlan`.
+``"compressed"``
+    As ``"cyclotomic"``, with long squaring runs additionally executed in
+    Karabina compressed form and decompressed in one batch per chain via
+    Montgomery simultaneous inversion.
+
+All three modes run unchanged on concrete elements and on the compiler's trace
+elements, so ``compile_pairing(final_exp_mode=...)`` emits the matching kernel.
 """
 
 from __future__ import annotations
 
 from repro.errors import PairingError
-from repro.pairing.exponent import FinalExpPlan
+from repro.fields.cyclotomic import cyclotomic_square, power_signed
+from repro.pairing.exponent import FinalExpPlan, signed_digits
+
+#: Supported hard-part evaluation modes.
+FINAL_EXP_MODES = ("generic", "cyclotomic", "compressed")
+
+
+def validate_final_exp_mode(mode) -> str:
+    if mode not in FINAL_EXP_MODES:
+        raise PairingError(
+            f"final_exp_mode must be one of {FINAL_EXP_MODES}, got {mode!r}"
+        )
+    return mode
 
 
 def easy_part(ctx, f):
@@ -36,7 +68,7 @@ def _cyclotomic_inverse(value):
 
 
 def _power_positive(value, magnitude: int):
-    """value ** magnitude for magnitude >= 1 (plain square-and-multiply)."""
+    """value ** magnitude for magnitude >= 1 (plain binary square-and-multiply)."""
     bits = bin(magnitude)[2:]
     result = value
     for bit in bits[1:]:
@@ -46,45 +78,58 @@ def _power_positive(value, magnitude: int):
     return result
 
 
-def _power_by_seed(value, u: int):
-    """value ** u, with negative seeds handled by the cyclotomic inverse."""
-    if u == 0:
+def _power_by_seed(ctx, value, plan: FinalExpPlan, mode: str):
+    """value ** plan.u, with negative seeds handled by the cyclotomic inverse."""
+    if plan.u == 0:
         raise PairingError("seed must be non-zero")
-    result = _power_positive(value, abs(u))
-    if u < 0:
+    if mode == "generic":
+        result = _power_positive(value, abs(plan.u))
+    else:
+        result = power_signed(ctx, value, plan.seed_chain, mode=mode)
+    if plan.u < 0:
         result = _cyclotomic_inverse(result)
     return result
 
 
-def _power_small(value, exponent: int):
+def _power_small(ctx, value, exponent: int, plan: FinalExpPlan, mode: str):
     """value ** exponent for small (possibly negative) exponents; None when zero."""
     if exponent == 0:
         return None
-    result = _power_positive(value, abs(exponent))
+    magnitude = abs(exponent)
+    if mode == "generic":
+        result = _power_positive(value, magnitude)
+    else:
+        chain = plan.small_chains.get(magnitude) or signed_digits(magnitude)
+        result = power_signed(ctx, value, chain, mode=mode)
     if exponent < 0:
         result = _cyclotomic_inverse(result)
     return result
 
 
-def hard_part(ctx, f, plan: FinalExpPlan | None = None):
+def hard_part(ctx, f, plan: FinalExpPlan | None = None, mode: str = "generic"):
     """Evaluate the hard part ``f ** (c * Phi_k(p) / r)`` following ``plan``."""
+    mode = validate_final_exp_mode(mode)
     plan = plan or ctx.final_exp_plan
+    if not isinstance(plan, FinalExpPlan):
+        raise PairingError(
+            f"hard_part requires a FinalExpPlan, got {type(plan).__name__}"
+        )
     if plan.mode == "poly":
-        return _hard_part_poly(ctx, f, plan)
-    return _hard_part_numeric(ctx, f, plan)
+        return _hard_part_poly(ctx, f, plan, mode)
+    return _hard_part_numeric(ctx, f, plan, mode)
 
 
-def _hard_part_poly(ctx, f, plan: FinalExpPlan):
+def _hard_part_poly(ctx, f, plan: FinalExpPlan, mode: str):
     # Powers of f by u^j, j = 0 .. max degree (g[0] = f).
     seed_powers = [f]
     for _ in range(plan.max_u_degree):
-        seed_powers.append(_power_by_seed(seed_powers[-1], plan.u))
+        seed_powers.append(_power_by_seed(ctx, seed_powers[-1], plan, mode))
 
     result = None
     for i, row in enumerate(plan.lambda_coeffs):
         term = None
         for j, coeff in enumerate(row):
-            factor = _power_small(seed_powers[j], coeff)
+            factor = _power_small(ctx, seed_powers[j], coeff, plan, mode)
             if factor is None:
                 continue
             term = factor if term is None else term * factor
@@ -98,9 +143,11 @@ def _hard_part_poly(ctx, f, plan: FinalExpPlan):
     return result
 
 
-def _hard_part_numeric(ctx, f, plan: FinalExpPlan):
+def _hard_part_numeric(ctx, f, plan: FinalExpPlan, mode: str):
     # Shared square-and-multiply over the base-p digits: one squaring per bit of p,
-    # multiplying in frob^i(f) whenever digit i has that bit set.
+    # multiplying in frob^i(f) whenever digit i has that bit set.  The squarings
+    # sit in the cyclotomic subgroup, so the fast modes use Granger-Scott
+    # squarings here too (the interleaved multiplies rule out compressed runs).
     frobs = [f]
     for i in range(1, len(plan.digits)):
         frobs.append(f.frobenius(i))
@@ -108,7 +155,7 @@ def _hard_part_numeric(ctx, f, plan: FinalExpPlan):
     result = None
     for bit_index in range(bit_length - 1, -1, -1):
         if result is not None:
-            result = result.square()
+            result = result.square() if mode == "generic" else cyclotomic_square(ctx, result)
         for i, digit in enumerate(plan.digits):
             if (digit >> bit_index) & 1:
                 result = frobs[i] if result is None else result * frobs[i]
@@ -117,6 +164,6 @@ def _hard_part_numeric(ctx, f, plan: FinalExpPlan):
     return result
 
 
-def final_exponentiation(ctx, f):
+def final_exponentiation(ctx, f, mode: str = "generic"):
     """The complete final exponentiation (easy + hard part)."""
-    return hard_part(ctx, easy_part(ctx, f))
+    return hard_part(ctx, easy_part(ctx, f), mode=mode)

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from repro.errors import PairingError
+from repro.pairing.exponent import signed_digits
 from repro.pairing.lines import (
     add_step,
     double_step,
@@ -14,19 +15,17 @@ from repro.pairing.lines import (
 
 
 def non_adjacent_form(value: int) -> list:
-    """Signed-digit NAF representation (little-endian digits in {-1, 0, 1})."""
+    """Signed-digit NAF representation (little-endian digits in {-1, 0, 1}).
+
+    Delegates to the one NAF recoder of the package
+    (:func:`repro.pairing.exponent.signed_digits`), keeping the loop-scalar
+    digits and the final-exponentiation seed chains from ever diverging.
+    """
     if value < 0:
         raise PairingError("NAF is computed on the absolute loop scalar")
-    digits = []
-    while value:
-        if value & 1:
-            digit = 2 - (value % 4)
-            value -= digit
-        else:
-            digit = 0
-        digits.append(digit)
-        value >>= 1
-    return digits
+    if value == 0:
+        return []
+    return list(signed_digits(value))
 
 
 def binary_digits(value: int) -> list:

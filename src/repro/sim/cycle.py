@@ -57,9 +57,14 @@ class CycleStats:
     ipc: float
     trace: IssueTrace | None = None
     per_unit: dict = field(default_factory=dict)
+    #: Per-kernel-phase telemetry keyed by the instruction ``phase`` tag
+    #: ("miller", "final_exp"): instruction count, first issue cycle, last
+    #: write-back cycle and the spanned cycle count.  Untagged instructions
+    #: (phase ``None``) are not attributed.
+    phase_stats: dict = field(default_factory=dict)
 
     def describe(self) -> dict:
-        return {
+        summary = {
             "cycles": self.total_cycles,
             "instructions": self.instructions,
             "ipc": round(self.ipc, 4),
@@ -68,6 +73,9 @@ class CycleStats:
             "writeback_stalls": self.writeback_stalls,
             "structural_stalls": self.structural_stalls,
         }
+        if self.phase_stats:
+            summary["phases"] = {name: dict(stats) for name, stats in self.phase_stats.items()}
+        return summary
 
 
 @dataclass
@@ -84,6 +92,9 @@ class MultiCoreStats:
     per_core_cycles: list              # finish cycle of each core's last result
     per_core_instructions: list
     lane_assignment: dict              # lane (None = shared) -> core index
+    #: Per-kernel-phase telemetry (same layout as ``CycleStats.phase_stats``),
+    #: aggregated across all cores.
+    phase_stats: dict = field(default_factory=dict)
 
     @property
     def ipc(self) -> float:
@@ -111,10 +122,11 @@ class MultiCoreStats:
             per_core_cycles=[stats.total_cycles],
             per_core_instructions=[stats.instructions],
             lane_assignment=lane_assignment,
+            phase_stats={name: dict(entry) for name, entry in stats.phase_stats.items()},
         )
 
     def describe(self) -> dict:
-        return {
+        summary = {
             "cycles": self.total_cycles,
             "n_cores": self.n_cores,
             "instructions": self.instructions,
@@ -123,6 +135,9 @@ class MultiCoreStats:
             "per_core_cycles": list(self.per_core_cycles),
             "per_core_instructions": list(self.per_core_instructions),
         }
+        if self.phase_stats:
+            summary["phases"] = {name: dict(stats) for name, stats in self.phase_stats.items()}
+        return summary
 
 
 def validate_core_count(n_cores) -> int:
@@ -205,6 +220,39 @@ def assign_split_lanes_to_cores(lane_costs: dict, n_cores: int) -> dict:
     return assignment
 
 
+class _PhaseTracker:
+    """Accumulates per-phase instruction counts and issue/write-back spans."""
+
+    __slots__ = ("entries",)
+
+    def __init__(self):
+        self.entries: dict = {}
+
+    def record(self, phase, issue_cycle: int, finish_cycle: int) -> None:
+        if phase is None:
+            return
+        entry = self.entries.get(phase)
+        if entry is None:
+            self.entries[phase] = [1, issue_cycle, finish_cycle]
+            return
+        entry[0] += 1
+        if issue_cycle < entry[1]:
+            entry[1] = issue_cycle
+        if finish_cycle > entry[2]:
+            entry[2] = finish_cycle
+
+    def summary(self) -> dict:
+        return {
+            phase: {
+                "instructions": count,
+                "first_issue": first,
+                "last_finish": last,
+                "cycles": last - first,
+            }
+            for phase, (count, first, last) in self.entries.items()
+        }
+
+
 class CycleAccurateSimulator:
     """Simulates a :class:`~repro.compiler.schedule.ScheduledProgram` on its hardware model."""
 
@@ -222,10 +270,10 @@ class CycleAccurateSimulator:
             "long": hw.long_latency,
             "short": hw.short_latency,
             "inv": hw.inv_latency,
-            "none": 1,
         }
         trace_codes = [] if self.record_trace else None
-        code_of_unit = {"long": LONG, "short": SHORT, "inv": INV, "none": SHORT}
+        code_of_unit = {"long": LONG, "short": SHORT, "inv": INV}
+        phases = _PhaseTracker()
 
         ready = {}                  # vid -> cycle its result is available
         writeback_busy = {}         # (bank, cycle) -> producer vid
@@ -244,7 +292,7 @@ class CycleAccurateSimulator:
             while True:
                 ok = True
                 stall_reason = None
-                units_used = {"long": 0, "short": 0, "inv": 0, "none": 0}
+                units_used = {"long": 0, "short": 0, "inv": 0}
                 wb_targets = set()
                 for vid in bundle:
                     instr = instructions[vid]
@@ -289,6 +337,7 @@ class CycleAccurateSimulator:
                 finish = cycle + latency_cache[unit]
                 ready[vid] = finish
                 last_finish = max(last_finish, finish)
+                phases.record(instr.phase, cycle, finish)
                 if enforce_wb:
                     writeback_busy[(banks[vid], finish)] = vid
                 issued += 1
@@ -311,6 +360,7 @@ class CycleAccurateSimulator:
             ipc=ipc,
             trace=IssueTrace(trace_codes) if trace_codes is not None else None,
             per_unit=per_unit,
+            phase_stats=phases.summary(),
         )
 
     def run_multicore(self, schedule: ScheduledProgram, n_cores: int | None = None) -> MultiCoreStats:
@@ -339,8 +389,8 @@ class CycleAccurateSimulator:
             "long": hw.long_latency,
             "short": hw.short_latency,
             "inv": hw.inv_latency,
-            "none": 1,
         }
+        phases = _PhaseTracker()
 
         # Flatten the scheduled issue order, then split it per core while
         # preserving relative order (each core stays in-order).
@@ -386,7 +436,7 @@ class CycleAccurateSimulator:
                 head = heads[core]
                 if head >= len(queue):
                     continue
-                units_used = {"long": 0, "short": 0, "inv": 0, "none": 0}
+                units_used = {"long": 0, "short": 0, "inv": 0}
                 slots = 0
                 stalled = None
                 while head < len(queue) and slots < hw.issue_width:
@@ -422,6 +472,7 @@ class CycleAccurateSimulator:
                         break
                     # Issue.
                     ready[vid] = finish
+                    phases.record(instr.phase, cycle, finish)
                     if enforce_wb:
                         writeback_busy.add((core, banks[vid], finish))
                     units_used[unit] += 1
@@ -468,4 +519,5 @@ class CycleAccurateSimulator:
             per_core_cycles=per_core_finish,
             per_core_instructions=per_core_issued,
             lane_assignment=assignment,
+            phase_stats=phases.summary(),
         )

@@ -141,6 +141,18 @@ def test_unit_classification():
     assert unit_of("inv") == "inv"
 
 
+def test_unit_classification_rejects_unknown_ops():
+    """Ops outside _SCHEDULED_OPS must raise, not slip through as unit-free
+    schedulable work (they would occupy issue slots with no unit pressure)."""
+    import pytest
+
+    from repro.errors import CompilerError
+
+    for op in ("pack", "ext", "frob", "conj", "input", "const", "output", "bogus"):
+        with pytest.raises(CompilerError):
+            unit_of(op)
+
+
 def test_vliw_schedule_packs_multiple_ops(toy_bn):
     vliw = figure10_models(toy_bn.params.p.bit_length())[-1]
     result = compile_pairing(toy_bn, hw=vliw, do_assemble=False)

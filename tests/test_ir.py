@@ -195,6 +195,63 @@ def test_lowering_pack_and_sparse_zero_constants(toy_bn, rng):
     assert got == expected
 
 
+def test_extract_is_pack_inverse_and_free(toy_bn, rng):
+    """"ext" selects w-power coefficients, lowers to pure wiring (zero F_p
+    instructions) and round-trips through pack."""
+    tower = toy_bn.tower
+    builder = IRBuilder("extract")
+    x = builder.input(tower.full_field, "x")
+    coeffs = [builder.extract(x, j, tower.twist_field) for j in range(6)]
+    builder.output(builder.pack(coeffs, tower.full_field), "out")
+    module = builder.module
+    module.validate()
+    assert module.op_histogram()["ext"] == 6
+
+    value = tower.full_field.random(rng)
+    assert interpret_high_level(module, tower.levels, {"x": value})["out"] == value
+
+    low = lower_module(module, tower.levels, VariantConfig.all_karatsuba())
+    # Pure wiring: inputs and outputs only, no compute instructions at all.
+    assert low.count_compute_ops() == 0
+    inputs = {("x", j): coeff for j, coeff in enumerate(value.to_base_coeffs())}
+    outputs = interpret_low_level(low, toy_bn.params.p, inputs)
+    assert [outputs[("out", j)] for j in range(12)] == value.to_base_coeffs()
+
+
+def test_extract_matches_concrete_w_coefficients(toy_bn, rng):
+    """Each ext index selects the same coefficient the concrete context does."""
+    from repro.pairing.context import ConcretePairingContext
+
+    tower = toy_bn.tower
+    ctx = ConcretePairingContext(toy_bn)
+    builder = IRBuilder("extract-one")
+    x = builder.input(tower.full_field, "x")
+    for j in range(6):
+        builder.output(builder.extract(x, j, tower.twist_field), f"g{j}")
+    value = tower.full_field.random(rng)
+    result = interpret_high_level(builder.module, tower.levels, {"x": value})
+    expected = ctx.full_w_coeffs(value)
+    for j in range(6):
+        assert result[f"g{j}"] == expected[j]
+
+
+def test_extract_rejects_bad_index(toy_bn):
+    tower = toy_bn.tower
+    builder = IRBuilder("extract-bad")
+    x = builder.input(tower.full_field, "x")
+    # Out-of-range indices fail at trace time, before any consumer can
+    # disagree about them.
+    for bad in (6, -1):
+        with pytest.raises(IRError):
+            builder.extract(x, bad, tower.twist_field)
+    # Lowering still defends against hand-emitted modules.
+    module = IRModule(level="high")
+    src = module.emit("input", (), degree=12, attr="x")
+    module.emit("ext", (src,), degree=2, attr=7)
+    with pytest.raises(IRError):
+        lower_module(module, tower.levels, VariantConfig.all_karatsuba())
+
+
 def test_lowering_rejects_point_ops(toy_bn):
     module = IRModule(level="high")
     a = module.emit("input", (), degree=2, attr="a")
