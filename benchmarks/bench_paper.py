@@ -1,0 +1,120 @@
+"""Paper-curve smoke benchmark: BLS12-381 on the fast F_p backend.
+
+The toy-catalog benchmarks exercise the compiled accelerator model; this file
+is the *software-path* counterpart at the operating point the paper targets:
+one ``optimal_ate_pairing`` and one batch-4 ``multi_pairing`` on BLS12-381,
+running on whatever the ``fast`` backend resolves to (gmpy2 when installed,
+the pure-Python reference otherwise).  Correctness is asserted alongside the
+timing -- bilinearity ``e(aP, bQ) == e(P, Q)^(ab)`` for the single pairing,
+bit-exactness of the fused product against the product of single pairings for
+the batch -- so a wrong fast backend can never produce a green benchmark.
+
+The file is skipped unless ``FINESSE_BENCH_PAPER`` is set: the smoke bench job
+globs ``bench_*.py`` and must stay toy-scale, so the CI ``bench-paper`` job
+opts in explicitly.  ``FINESSE_PAPER_BUDGET_SECONDS`` (default 120) bounds the
+wall-clock of each benchmarked call; blowing the budget fails the job even
+before the workflow-level timeout, which keeps "paper curves are benchmarkable"
+an enforced property rather than an aspiration.
+
+Results land in ``benchmarks/results/paper_pairing.json`` with the resolved
+backend name recorded, and are compared (informationally, as wall-clock
+timings) by ``benchmarks/compare_bench.py`` against the previous run.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+
+import pytest
+
+from repro.curves.catalog import get_curve
+from repro.pairing.ate import optimal_ate_pairing
+from repro.pairing.batch import multi_pairing
+
+PAPER_BENCH_ENV = "FINESSE_BENCH_PAPER"
+BUDGET_ENV = "FINESSE_PAPER_BUDGET_SECONDS"
+CURVE_NAME = "BLS12-381"
+BATCH = 4
+
+pytestmark = pytest.mark.skipif(
+    not os.environ.get(PAPER_BENCH_ENV),
+    reason=f"paper-scale benchmark; opt in with {PAPER_BENCH_ENV}=1",
+)
+
+
+def _budget_seconds() -> float:
+    return float(os.environ.get(BUDGET_ENV, "120"))
+
+
+def _timed(fn, *args, **kwargs):
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+@pytest.fixture(scope="module")
+def paper_curve():
+    # The catalog marks paper curves `fast`; an explicit FINESSE_FP_BACKEND
+    # still overrides, so the job can pin a backend for A/B runs.
+    return get_curve(CURVE_NAME)
+
+
+def test_paper_single_pairing(benchmark, save_result, paper_curve):
+    curve = paper_curve
+    rng = random.Random(0xB15381)
+    P, Q = curve.random_g1(rng), curve.random_g2(rng)
+
+    e, seconds = _timed(lambda: benchmark.pedantic(
+        optimal_ate_pairing, args=(curve, P, Q), rounds=1, iterations=1))
+    assert curve.is_valid_gt(e)
+
+    # Bilinearity at paper scale: e(aP, bQ) == e(P, Q)^(ab mod r).
+    a, b = rng.randrange(2, curve.r), rng.randrange(2, curve.r)
+    lhs = optimal_ate_pairing(curve, P.scalar_mul(a), Q.scalar_mul(b))
+    assert lhs == e ** ((a * b) % curve.r)
+
+    budget = _budget_seconds()
+    assert seconds < budget, (
+        f"single {CURVE_NAME} pairing took {seconds:.1f}s on backend "
+        f"{curve.fp_backend!r}, over the {budget:.0f}s budget"
+    )
+    save_result("paper_pairing_single", {
+        "experiment": "paper_pairing_single",
+        "curve": curve.name,
+        "fp_backend": curve.fp_backend,
+        "wall_seconds": round(seconds, 3),
+        "budget_seconds": budget,
+    })
+
+
+def test_paper_multi_pairing_batch4(benchmark, save_result, paper_curve):
+    curve = paper_curve
+    rng = random.Random(0xBA7C4)
+    pairs = [(curve.random_g1(rng), curve.random_g2(rng)) for _ in range(BATCH)]
+
+    fused, seconds = _timed(lambda: benchmark.pedantic(
+        multi_pairing, args=(curve, pairs), rounds=1, iterations=1))
+    assert curve.is_valid_gt(fused)
+
+    # The fused product must be bit-exact against the product of singles.
+    product = curve.gt_one()
+    for point_p, point_q in pairs:
+        product = product * optimal_ate_pairing(curve, point_p, point_q)
+    assert fused == product
+
+    budget = _budget_seconds()
+    assert seconds < budget, (
+        f"batch-{BATCH} {CURVE_NAME} multi_pairing took {seconds:.1f}s on "
+        f"backend {curve.fp_backend!r}, over the {budget:.0f}s budget"
+    )
+    save_result("paper_pairing", {
+        "experiment": "paper_pairing",
+        "curve": curve.name,
+        "fp_backend": curve.fp_backend,
+        "batch": BATCH,
+        "wall_seconds": round(seconds, 3),
+        "wall_seconds_per_pairing": round(seconds / BATCH, 3),
+        "budget_seconds": budget,
+    })

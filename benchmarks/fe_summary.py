@@ -32,8 +32,11 @@ def render_table(result: dict) -> str:
     batch = fe["batch"]
     modes = fe["modes"]
     core_labels = [f"c{n}" for n in result.get("core_counts", (1, 2, 4))]
+    # The backend is part of the header so paper-curve rows (fast backend)
+    # and toy-curve rows (python backend) are never read as one series.
     lines = [
         f"### Final-exponentiation kernels -- {result.get('curve', '?')} "
+        f"[fp backend: {result.get('fp_backend', 'python')}] "
         f"batch={batch} (cycles/pairing, delta vs generic)",
         "",
         "| accumulators | cores | generic | cyclotomic | compressed |",

@@ -22,6 +22,11 @@ from repro.compiler.pipeline import (
 )
 from repro.compiler.store import ArtifactStore, active_store, configure_store
 from repro.curves.catalog import get_curve, list_curves
+from repro.fields.backends import (
+    active_fp_backend,
+    available_backends as available_fp_backends,
+    configure_fp_backend,
+)
 from repro.fields.variants import VariantConfig
 from repro.hw.model import HardwareModel
 from repro.hw.presets import default_model, paper_hw1, paper_hw2
@@ -46,6 +51,9 @@ __all__ = [
     "ArtifactStore",
     "active_store",
     "configure_store",
+    "active_fp_backend",
+    "available_fp_backends",
+    "configure_fp_backend",
     "VariantConfig",
     "HardwareModel",
     "default_model",

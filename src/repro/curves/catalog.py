@@ -21,38 +21,56 @@ from repro.curves.model import AffinePoint, EllipticCurve
 from repro.curves.orders import sextic_twist_orders
 from repro.curves.security import estimate_security_bits
 from repro.errors import CurveError
+from repro.fields.backends import resolve_backend
 from repro.fields.tower import PairingTower, build_pairing_tower
 
 
 @dataclass(frozen=True)
 class CurveSpec:
-    """A catalog entry: family name, seed and provenance of the seed."""
+    """A catalog entry: family name, seed and provenance of the seed.
+
+    ``fp_backend`` is the entry's *default* F_p arithmetic backend hint
+    (see :mod:`repro.fields.backends`): the paper-scale curves default to
+    ``fast`` (gmpy2 when installed) so they are benchmarkable, the toy test
+    curves to the pure-Python reference.  A ``configure_fp_backend`` pin or
+    the ``FINESSE_FP_BACKEND`` environment variable overrides the hint for a
+    whole process; an explicit ``get_curve(..., fp_backend=...)`` argument
+    overrides everything.
+    """
 
     name: str
     family: str
     u: int
     seed_origin: str
     toy: bool = False
+    fp_backend: str | None = None
 
 
 #: The seven curves of Table 2 plus extra aliases and small test curves.
 CURVE_SPECS = {
-    "BN254N": CurveSpec("BN254N", "BN", -(2**62 + 2**55 + 1), "published (Nogami et al.)"),
-    "BN254S": CurveSpec("BN254S", "BN", 4965661367192848881, "published (SNARK / Ethereum BN254)"),
-    "BN462": CurveSpec("BN462", "BN", 2**114 + 2**101 - 2**14 - 1, "published (ISO / Barbulescu-Duquesne)"),
-    "BN638": CurveSpec("BN638", "BN", 2**158 - 2**133 + 2**56, "derived with repro.curves.search"),
+    "BN254N": CurveSpec("BN254N", "BN", -(2**62 + 2**55 + 1), "published (Nogami et al.)",
+                        fp_backend="fast"),
+    "BN254S": CurveSpec("BN254S", "BN", 4965661367192848881, "published (SNARK / Ethereum BN254)",
+                        fp_backend="fast"),
+    "BN462": CurveSpec("BN462", "BN", 2**114 + 2**101 - 2**14 - 1, "published (ISO / Barbulescu-Duquesne)",
+                       fp_backend="fast"),
+    "BN638": CurveSpec("BN638", "BN", 2**158 - 2**133 + 2**56, "derived with repro.curves.search",
+                       fp_backend="fast"),
     "BLS12-381": CurveSpec(
-        "BLS12-381", "BLS12", -(2**63 + 2**62 + 2**60 + 2**57 + 2**48 + 2**16), "published (Zcash)"
+        "BLS12-381", "BLS12", -(2**63 + 2**62 + 2**60 + 2**57 + 2**48 + 2**16), "published (Zcash)",
+        fp_backend="fast",
     ),
     "BLS12-446": CurveSpec(
         "BLS12-446", "BLS12", -(2**74 + 2**73 + 2**63 + 2**57 + 2**50 + 2**17 + 1),
-        "published (Barbulescu-Duquesne)",
+        "published (Barbulescu-Duquesne)", fp_backend="fast",
     ),
     "BLS12-638": CurveSpec(
-        "BLS12-638", "BLS12", 2**106 + 2**105 - 2**84 - 2**22, "derived with repro.curves.search"
+        "BLS12-638", "BLS12", 2**106 + 2**105 - 2**84 - 2**22, "derived with repro.curves.search",
+        fp_backend="fast",
     ),
     "BLS24-509": CurveSpec(
-        "BLS24-509", "BLS24", 2**51 - 2**45 + 2**39 + 2**15, "derived with repro.curves.search"
+        "BLS24-509", "BLS24", 2**51 - 2**45 + 2**39 + 2**15, "derived with repro.curves.search",
+        fp_backend="fast",
     ),
     # Small curves for fast end-to-end testing of the full pipeline.
     "TOY-BN42": CurveSpec("TOY-BN42", "BN", 543, "derived with repro.curves.search", toy=True),
@@ -101,6 +119,11 @@ class PairingCurve:
     @property
     def u(self) -> int:
         return self.params.u
+
+    @property
+    def fp_backend(self) -> str:
+        """Name of the F_p arithmetic backend this instance's tower runs on."""
+        return self.tower.fp_backend
 
     def describe(self) -> dict:
         """Table 2 style description."""
@@ -207,8 +230,16 @@ def _find_twist(tower: PairingTower, params: FamilyParams, b: int, rng: random.R
     raise CurveError("could not identify the correct sextic twist")
 
 
-def build_curve(spec: CurveSpec) -> PairingCurve:
-    """Instantiate a catalog entry (deterministic; moderately expensive)."""
+def build_curve(spec: CurveSpec, fp_backend: str | None = None) -> PairingCurve:
+    """Instantiate a catalog entry (deterministic; moderately expensive).
+
+    ``fp_backend`` names the resolved F_p backend for the curve's whole field
+    tower; ``None`` falls back to the spec's hint / the process default.  The
+    backend changes the arithmetic *representation* only -- generators, twist
+    selection and every derived constant are bit-identical across backends
+    because the construction RNG is seeded from the modulus alone and field
+    semantics are backend-invariant.
+    """
     family = get_family(spec.family)
     if spec.u is None:
         raise CurveError(
@@ -216,7 +247,9 @@ def build_curve(spec: CurveSpec) -> PairingCurve:
             "update CURVE_SPECS"
         )
     params = family.instantiate(spec.u)
-    tower = build_pairing_tower(params.p, params.k)
+    if fp_backend is None:
+        fp_backend = resolve_backend(hint=spec.fp_backend)
+    tower = build_pairing_tower(params.p, params.k, fp_backend=fp_backend)
     rng = random.Random(0xF1E55E ^ (params.p & 0xFFFFFFFF))
 
     # Imported lazily to avoid a circular import through repro.pairing.
@@ -249,17 +282,27 @@ def build_curve(spec: CurveSpec) -> PairingCurve:
 _CURVE_CACHE: dict = {}
 
 
-def get_curve(name: str) -> PairingCurve:
-    """Return the named curve, building and caching it on first use."""
+def get_curve(name: str, fp_backend: str | None = None) -> PairingCurve:
+    """Return the named curve, building and caching it on first use.
+
+    ``fp_backend`` overrides the F_p arithmetic backend for this curve
+    (resolution order: this argument, then the ``configure_fp_backend`` pin /
+    ``FINESSE_FP_BACKEND`` environment variable, then the catalog entry's own
+    hint -- paper-scale curves default to the ``fast`` backend).  Curves are
+    cached per (name, resolved backend): the same name under two backends
+    yields two independent instances with bit-identical parameters.
+    """
     key = name.upper()
     aliases = {"BN254": "BN254N"}
     key = aliases.get(key, key)
-    if key not in _CURVE_CACHE:
-        spec = CURVE_SPECS.get(key)
-        if spec is None:
-            raise CurveError(f"unknown curve {name!r}; known: {sorted(CURVE_SPECS)}")
-        _CURVE_CACHE[key] = build_curve(spec)
-    return _CURVE_CACHE[key]
+    spec = CURVE_SPECS.get(key)
+    if spec is None:
+        raise CurveError(f"unknown curve {name!r}; known: {sorted(CURVE_SPECS)}")
+    backend = resolve_backend(explicit=fp_backend, hint=spec.fp_backend)
+    cache_key = (key, backend)
+    if cache_key not in _CURVE_CACHE:
+        _CURVE_CACHE[cache_key] = build_curve(spec, fp_backend=backend)
+    return _CURVE_CACHE[cache_key]
 
 
 def list_curves(include_toy: bool = True) -> list:

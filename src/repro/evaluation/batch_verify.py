@@ -143,6 +143,10 @@ def run(scale: str | None = None) -> dict:
     return {
         "experiment": "batch_verify",
         "curve": curve.name,
+        # Benchmark records carry the backend so paper-curve and toy-curve
+        # rows are never compared across backends; the compile-cache digests
+        # deliberately do NOT include it (values are backend-invariant).
+        "fp_backend": curve.fp_backend,
         "hw": hw.name,
         "core_counts": list(CORE_COUNTS),
         "modes": list(MODES),

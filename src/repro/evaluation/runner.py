@@ -11,6 +11,11 @@ every DSE worker process shares it -- and a re-run over the same experiments
 in a fresh process is then served from disk with zero recompilations.
 ``--no-disk-cache`` disables the disk tier even when the environment variable
 is set (useful for timing genuinely cold compiles).
+
+``--fp-backend NAME`` pins the F_p arithmetic backend (``python`` |
+``montgomery`` | ``gmpy2`` | ``fast``) for the whole run -- exported as
+``FINESSE_FP_BACKEND`` so DSE worker processes inherit it.  Values are
+identical across backends; only wall-clock time changes.
 """
 
 from __future__ import annotations
@@ -22,6 +27,7 @@ import time
 
 from repro.compiler.pipeline import compile_cache_stats
 from repro.compiler.store import CACHE_DIR_ENV, active_store, configure_store
+from repro.fields.backends import BACKEND_ENV, configure_fp_backend
 from repro.dse.engine import WORKERS_ENV, worker_cache_stats
 from repro.evaluation import (
     batch_verify,
@@ -126,6 +132,13 @@ def main(argv=None) -> int:
         elif arg == "--no-disk-cache":
             os.environ.pop(CACHE_DIR_ENV, None)
             configure_store(None)
+        elif arg == "--fp-backend":
+            # Exported so DSE worker processes inherit it, AND pinned via the
+            # API so curves already resolved in this process are not reused
+            # with a stale backend default.
+            backend = args.pop(0)
+            os.environ[BACKEND_ENV] = backend
+            configure_fp_backend(backend)
         else:
             names = (names or []) + [arg]
     results = run_all(scale=scale, names=names)

@@ -1,5 +1,14 @@
 """Finite-field operator kit: F_p, extension towers, Frobenius and operator variants."""
 
+from repro.fields.backends import (
+    BACKEND_ENV,
+    FpOps,
+    active_fp_backend,
+    available_backends,
+    configure_fp_backend,
+    gmpy2_available,
+    resolve_backend,
+)
 from repro.fields.fp import PrimeField, FpElement
 from repro.fields.extension import ExtensionField, ExtElement
 from repro.fields.tower import (
@@ -29,6 +38,13 @@ from repro.fields.cyclotomic import (
 )
 
 __all__ = [
+    "BACKEND_ENV",
+    "FpOps",
+    "active_fp_backend",
+    "available_backends",
+    "configure_fp_backend",
+    "gmpy2_available",
+    "resolve_backend",
     "CompressedElement",
     "batch_inverse",
     "compress",

@@ -24,6 +24,10 @@ same code runs on concrete :class:`~repro.fields.extension.ExtElement` values
 (the software pairing) and on the compiler's
 :class:`~repro.ir.builder.TraceElement` values (the traced accelerator
 kernel) -- the lock-step mechanism the rest of the pairing package uses.
+Because no element is ever built from raw coefficients here, the pluggable
+F_p backend (:mod:`repro.fields.backends`) is transparent to this module:
+Montgomery-form residues flow through every formula unchanged and convert
+back to canonical integers only at the tower boundary.
 
 Derivation notes (all verified against generic arithmetic by the test-suite):
 writing ``f = sum_j g_j w^j`` and ``s = w^3`` (so ``s^2 = xi``), the

@@ -61,6 +61,18 @@ class ExtensionField:
     def characteristic(self) -> int:
         return self.p
 
+    @property
+    def backend(self) -> str:
+        """Name of the F_p backend this tower bottoms out in.
+
+        Extension arithmetic is written entirely against the element interface
+        of its base field, so the backend choice propagates transparently from
+        the :class:`~repro.fields.fp.PrimeField` at the bottom of the tower:
+        coefficients stay in the backend-native representation (e.g. Montgomery
+        residues) across every level and convert lazily at ``to_base_coeffs``.
+        """
+        return self.base.backend
+
     def order(self) -> int:
         return self.p ** self.degree
 

@@ -1,7 +1,13 @@
 """Base prime field F_p and its elements.
 
-Elements are thin immutable wrappers around Python integers; all higher tower
-levels are built on top of this class by :mod:`repro.fields.extension`.
+Elements are thin immutable wrappers around a backend-native representation;
+all higher tower levels are built on top of this class by
+:mod:`repro.fields.extension`.  The actual ring/inversion/exponentiation
+arithmetic is delegated to a pluggable backend (:mod:`repro.fields.backends`):
+the pure-Python reference, Montgomery fixed-limb CIOS, or GMP-backed ``mpz``.
+All backends are bit-exact; ``value``/``to_base_coeffs`` always yield the
+canonical integer in ``[0, p)`` regardless of the internal representation, so
+the compiler, the curve catalog and the cache digests never see the backend.
 """
 
 from __future__ import annotations
@@ -9,6 +15,8 @@ from __future__ import annotations
 import random
 
 from repro.errors import FieldError
+from repro.fields.backends import get_ops, resolve_backend
+from repro.nt.primes import is_probable_prime
 
 
 class PrimeField:
@@ -17,14 +25,24 @@ class PrimeField:
     The same object doubles as the degree-1 "tower level" so that generic code can
     treat F_p and its extensions uniformly (``degree``, ``zero``, ``one``,
     ``from_base_coeffs`` ...).
+
+    ``backend`` selects the arithmetic implementation by name (``python`` |
+    ``montgomery`` | ``gmpy2`` | ``fast``); when omitted the process default
+    applies (``configure_fp_backend`` pin, then ``FINESSE_FP_BACKEND``, then
+    ``python``).  Two fields over the same modulus compare equal regardless of
+    backend: the backend is a representation choice, not a semantic one.
     """
 
-    __slots__ = ("p", "_one", "_zero")
+    __slots__ = ("p", "backend", "_ops", "_one", "_zero")
 
-    def __init__(self, p: int):
-        if p < 3 or p % 2 == 0:
+    def __init__(self, p: int, backend: str | None = None):
+        if not isinstance(p, int) or p < 3 or p % 2 == 0:
             raise FieldError("PrimeField requires an odd prime modulus")
+        if not is_probable_prime(p):
+            raise FieldError(f"PrimeField modulus {p} is composite; an odd prime is required")
         self.p = p
+        self.backend = resolve_backend(explicit=backend)
+        self._ops = get_ops(self.backend, p)
         self._zero = None
         self._one = None
 
@@ -48,11 +66,11 @@ class PrimeField:
         return hash(("PrimeField", self.p))
 
     def __repr__(self) -> str:
-        return f"F_p(bits={self.p.bit_length()})"
+        return f"F_p(bits={self.p.bit_length()}, backend={self.backend})"
 
     # -- element constructors ---------------------------------------------------
     def element(self, value: int) -> "FpElement":
-        return FpElement(self, value % self.p)
+        return FpElement(self, self._ops.encode(value))
 
     def __call__(self, value) -> "FpElement":
         if isinstance(value, FpElement):
@@ -82,35 +100,52 @@ class PrimeField:
 
 
 class FpElement:
-    """An element of F_p."""
+    """An element of F_p.
 
-    __slots__ = ("field", "value")
+    ``raw`` is the backend-native representation (a canonical integer for the
+    ``python``/``gmpy2`` backends, a Montgomery residue for ``montgomery``);
+    ``value`` is always the canonical integer.  Constructing elements directly
+    is internal API -- go through ``field(...)`` / ``field.element(...)``.
+    """
 
-    def __init__(self, field: PrimeField, value: int):
+    __slots__ = ("field", "raw")
+
+    def __init__(self, field: PrimeField, raw):
         self.field = field
-        self.value = value
+        self.raw = raw
+
+    @property
+    def value(self) -> int:
+        """The canonical integer in ``[0, p)`` (decoded from the backend form)."""
+        return int(self.field._ops.decode(self.raw))
 
     # -- ring operations ---------------------------------------------------------
     def __add__(self, other: "FpElement") -> "FpElement":
-        return FpElement(self.field, (self.value + other.value) % self.field.p)
+        field = self.field
+        return FpElement(field, field._ops.add(self.raw, other.raw))
 
     def __sub__(self, other: "FpElement") -> "FpElement":
-        return FpElement(self.field, (self.value - other.value) % self.field.p)
+        field = self.field
+        return FpElement(field, field._ops.sub(self.raw, other.raw))
 
     def __mul__(self, other: "FpElement") -> "FpElement":
         if not isinstance(other, FpElement):
             return NotImplemented
-        return FpElement(self.field, (self.value * other.value) % self.field.p)
+        field = self.field
+        return FpElement(field, field._ops.mul(self.raw, other.raw))
 
     def __neg__(self) -> "FpElement":
-        return FpElement(self.field, (-self.value) % self.field.p)
+        field = self.field
+        return FpElement(field, field._ops.neg(self.raw))
 
     def square(self) -> "FpElement":
-        return FpElement(self.field, (self.value * self.value) % self.field.p)
+        field = self.field
+        return FpElement(field, field._ops.sqr(self.raw))
 
     def mul_small(self, k: int) -> "FpElement":
         """Multiply by a small (possibly negative) integer constant."""
-        return FpElement(self.field, (self.value * k) % self.field.p)
+        field = self.field
+        return FpElement(field, field._ops.mul_small(self.raw, k))
 
     def double(self) -> "FpElement":
         return self.mul_small(2)
@@ -119,15 +154,17 @@ class FpElement:
         return self.mul_small(3)
 
     def inverse(self) -> "FpElement":
-        if self.value == 0:
+        field = self.field
+        if field._ops.is_zero(self.raw):
             raise FieldError("zero has no inverse")
-        return FpElement(self.field, pow(self.value, -1, self.field.p))
+        return FpElement(field, field._ops.inv(self.raw))
 
     def __pow__(self, exponent: int) -> "FpElement":
         exponent = int(exponent)
         if exponent < 0:
             return self.inverse() ** (-exponent)
-        return FpElement(self.field, pow(self.value, exponent, self.field.p))
+        field = self.field
+        return FpElement(field, field._ops.pow_int(self.raw, exponent))
 
     # -- tower-uniform operations -------------------------------------------------
     def frobenius(self, n: int = 1) -> "FpElement":
@@ -139,20 +176,23 @@ class FpElement:
 
     # -- structure ----------------------------------------------------------------
     def is_zero(self) -> bool:
-        return self.value == 0
+        return self.field._ops.is_zero(self.raw)
 
     def is_one(self) -> bool:
-        return self.value == 1
+        return self.field._ops.is_one(self.raw)
 
     def to_base_coeffs(self) -> list:
         return [self.value]
 
     def __eq__(self, other) -> bool:
-        return (
-            isinstance(other, FpElement)
-            and other.field == self.field
-            and other.value == self.value
-        )
+        if not isinstance(other, FpElement) or other.field != self.field:
+            return False
+        if other.field._ops is self.field._ops:
+            return other.raw == self.raw
+        # Same modulus under different backends: compare canonical values so
+        # that e.g. a Montgomery residue and a plain residue of the same
+        # element are recognised as equal.
+        return other.value == self.value
 
     def __hash__(self) -> int:
         return hash((self.field.p, self.value))

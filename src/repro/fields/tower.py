@@ -139,6 +139,11 @@ class PairingTower:
     def k(self) -> int:
         return self.full_field.degree
 
+    @property
+    def fp_backend(self) -> str:
+        """Name of the F_p arithmetic backend every tower level runs on."""
+        return self.fp.backend
+
     def level(self, degree: int):
         try:
             return self.levels[degree]
@@ -152,7 +157,7 @@ class PairingTower:
         return embed(element, self.full_field)
 
 
-def build_pairing_tower(p: int, k: int) -> PairingTower:
+def build_pairing_tower(p: int, k: int, fp_backend: str | None = None) -> PairingTower:
     """Build the tower for embedding degree ``k`` in {12, 24} (BN/BLS12 and BLS24).
 
     Layout (bottom to top):
@@ -162,10 +167,14 @@ def build_pairing_tower(p: int, k: int) -> PairingTower:
 
     In both cases the generator ``w`` of the top step satisfies ``w^2 = v`` and
     ``v^3 = xi``, hence ``w^6 = xi`` as required by the sextic untwist.
+
+    ``fp_backend`` selects the F_p arithmetic backend for the whole tower
+    (every level bottoms out in the same :class:`PrimeField`); ``None`` means
+    the process default.
     """
     if k not in (12, 24):
         raise FieldError(f"unsupported embedding degree {k} (supported: 12, 24)")
-    fp = PrimeField(p)
+    fp = PrimeField(p, backend=fp_backend)
     levels: dict = {1: fp}
 
     fp2 = build_extension(fp, 2, name="F_p2")

@@ -73,6 +73,13 @@ def test_fp_misc(fp):
         fp(0).inverse()
     with pytest.raises(FieldError):
         PrimeField(8)
+    # Odd but composite moduli must be rejected too (Miller-Rabin guard):
+    # F_9 is not a prime field, and silently accepting it would corrupt
+    # every inversion and Tonelli-Shanks call downstream.
+    with pytest.raises(FieldError, match="composite"):
+        PrimeField(9)
+    with pytest.raises(FieldError, match="composite"):
+        PrimeField(10007 * 10009)
 
 
 # ---------------------------------------------------------------------------
