@@ -10,8 +10,69 @@ The package is organised as a stack of subsystems mirroring the paper:
   -- the compilation pipeline and the functional / cycle-accurate simulators.
 * :mod:`repro.dse` / :mod:`repro.baselines` / :mod:`repro.evaluation`
   -- design-space exploration, published baselines and the experiment harness.
+* :mod:`repro.service`
+  -- the streaming verification service (async dynamic batching of
+  Groth16/BLS verification traffic over the fused pairing kernels).
 
-The most common entry points are re-exported here.
+See ``docs/architecture.md`` for the full module map and data-flow diagrams.
+
+Public API (re-exported here)
+-----------------------------
+Curves
+    ``get_curve(name, fp_backend=None)`` -- a catalog curve by name
+    (toy + paper-scale BN/BLS12/BLS24 entries).
+    ``list_curves()`` -- every catalog curve name.
+
+Pairing (software golden path)
+    ``optimal_ate_pairing(curve, P, Q, ...)`` -- one optimal-Ate pairing
+    ``e(P, Q)``; the bit-exact ground truth everything else is tested against.
+    ``multi_pairing(curve, pairs, ...)`` -- the fused pairing product
+    ``Pi e(P_i, Q_i)``: one shared accumulator squaring per loop iteration
+    and a single final exponentiation (see its docstring for an example).
+    ``precompute_g2(curve, Q, use_naf=True)`` -- P-independent Miller-loop
+    line coefficients of a fixed G2 point, replayable against any G1 point.
+    ``split_batched_miller_loop(ctx, sources, n_groups, ...)`` -- the
+    split-accumulator Miller loop (one independent chain per group).
+
+Compiler
+    ``compile_pairing(curve, hw=None, ...)`` -- compile the single-pairing
+    accelerator kernel (cached by full semantic configuration).
+    ``compile_multi_pairing(curve, n_pairs, hw=None, ...)`` -- compile the
+    batched pairing-product kernel (see its docstring for an example).
+    ``CompilerPipeline`` -- the staged pipeline behind both entry points.
+    ``compile_cache_stats()`` -- per-stage hit/miss/store counters of the
+    two-tier compile cache.
+
+Compile-artifact store (disk tier)
+    ``ArtifactStore`` -- content-addressed on-disk kernel store.
+    ``active_store()`` / ``configure_store(path)`` -- inspect / pin the
+    process-wide store (``FINESSE_CACHE_DIR`` configures it per environment).
+
+Field-arithmetic backends
+    ``active_fp_backend()`` / ``available_fp_backends()`` /
+    ``configure_fp_backend(name)`` -- inspect / enumerate / pin the ``F_p``
+    backend (``python`` | ``montgomery`` | ``gmpy2``; also selectable via
+    ``FINESSE_FP_BACKEND``).
+
+Hardware models
+    ``HardwareModel`` -- the accelerator model (word width, FUs, cores, ...).
+    ``default_model(bits=None)`` -- a sensible generic model.
+    ``paper_hw1(bits)`` / ``paper_hw2(bits)`` -- the paper's two presets.
+    ``VariantConfig`` -- per-operator algorithm-variant selection.
+
+Simulators
+    ``FunctionalSimulator`` -- executes a compiled kernel on concrete values
+    (bit-exact vs the software pairing).
+    ``CycleAccurateSimulator`` -- deterministic single- and multi-core cycle
+    simulation of a compiled kernel.
+
+Serving
+    ``VerificationService(curve, config=None)`` -- the asyncio verification
+    service: dynamic batching, verifying-key cache, fused batch checks.
+    ``ServiceConfig(...)`` -- its knobs (``FINESSE_SERVICE_*`` environment
+    variables via ``ServiceConfig.from_env``; see ``docs/serving.md``).
+    ``ServiceProfile(...)`` -- a traffic profile for ranking hardware design
+    points by end-to-end service latency/throughput in the DSE layer.
 """
 
 from repro.compiler.pipeline import (
@@ -32,10 +93,11 @@ from repro.hw.model import HardwareModel
 from repro.hw.presets import default_model, paper_hw1, paper_hw2
 from repro.pairing.ate import optimal_ate_pairing
 from repro.pairing.batch import multi_pairing, precompute_g2, split_batched_miller_loop
+from repro.service import ServiceConfig, ServiceProfile, VerificationService
 from repro.sim.cycle import CycleAccurateSimulator
 from repro.sim.functional import FunctionalSimulator
 
-__version__ = "1.5.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "get_curve",
@@ -61,5 +123,8 @@ __all__ = [
     "paper_hw2",
     "FunctionalSimulator",
     "CycleAccurateSimulator",
+    "VerificationService",
+    "ServiceConfig",
+    "ServiceProfile",
     "__version__",
 ]

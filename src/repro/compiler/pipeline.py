@@ -599,6 +599,16 @@ def compile_multi_pairing(
     Karabina decompression, a data-dependent case of probability
     ~chain-weight/|F_p^{k/6}| per batch that makes the simulated inversion
     fail loudly rather than return a wrong product.
+
+    Example -- compile a batch-8 kernel on a 4-core model and read the
+    figures a design sweep ranks on::
+
+        import repro
+        curve = repro.get_curve("TOY-BN42")
+        hw = repro.paper_hw1(curve.params.p.bit_length()).with_cores(4)
+        kernel = repro.compile_multi_pairing(curve, 8, hw=hw)
+        kernel.cycles                # latency of the whole fused batch
+        kernel.cycles_per_pairing    # amortised cost (falls with batch size)
     """
     n_pairs = validate_batch_size(n_pairs)
     variant_config = variant_config or VariantConfig.all_karatsuba()

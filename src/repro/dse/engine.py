@@ -145,7 +145,8 @@ def _stats_delta(after: dict, before: dict) -> dict:
 
 
 def _evaluate_chunk(curve_name, chunk, n_cores, technology, do_assemble, batch_size=None,
-                    split_accumulators="auto", final_exp_mode="cyclotomic"):
+                    split_accumulators="auto", final_exp_mode="cyclotomic",
+                    service_profile=None):
     """Worker entry point: evaluate one chunk of (index, point) pairs.
 
     Runs in a separate process; the curve is rebuilt (or found pre-built when
@@ -161,7 +162,8 @@ def _evaluate_chunk(curve_name, chunk, n_cores, technology, do_assemble, batch_s
         (index, evaluate_design_point(curve, point, n_cores, technology, do_assemble,
                                       batch_size=batch_size,
                                       split_accumulators=split_accumulators,
-                                      final_exp_mode=final_exp_mode))
+                                      final_exp_mode=final_exp_mode,
+                                      service_profile=service_profile))
         for index, point in chunk
     ]
     return evaluated, _stats_delta(compile_cache_stats(), before)
@@ -181,6 +183,7 @@ class ParallelExplorer:
         batch_size: int | None = None,
         split_accumulators="auto",
         final_exp_mode="cyclotomic",
+        service_profile=None,
     ):
         self.curve = curve
         self.workers = default_workers() if workers is None else max(1, int(workers))
@@ -208,6 +211,12 @@ class ParallelExplorer:
         #: force one kernel per point, "auto" compiles all three and scores
         #: the winner (recorded in ``DesignMetrics.final_exp_mode``).
         self.final_exp_mode = final_exp_mode
+        #: Optional :class:`repro.service.simulate.ServiceProfile`: when set,
+        #: every evaluated point also gets its ``service_*`` fields populated
+        #: (end-to-end latency percentiles / sustained verifications per
+        #: second of the modelled dynamic-batching service), enabling the
+        #: ``service_throughput`` and ``service_p99`` ranking objectives.
+        self.service_profile = service_profile
         #: Metrics of the last sweep, in submission order (mirrors the points list).
         self.evaluated: list = []
         self.last_report: ExplorationReport | None = None
@@ -269,7 +278,8 @@ class ParallelExplorer:
             evaluate_design_point(self.curve, point, self.n_cores, self.technology,
                                   self.do_assemble, batch_size=self.batch_size,
                                   split_accumulators=self.split_accumulators,
-                                  final_exp_mode=self.final_exp_mode)
+                                  final_exp_mode=self.final_exp_mode,
+                                  service_profile=self.service_profile)
             for point in points
         ]
 
@@ -300,6 +310,7 @@ class ParallelExplorer:
                 [self.batch_size] * len(chunks),
                 [self.split_accumulators] * len(chunks),
                 [self.final_exp_mode] * len(chunks),
+                [self.service_profile] * len(chunks),
             ):
                 for index, metrics in evaluated:
                     slots[index] = metrics

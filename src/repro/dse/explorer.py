@@ -52,9 +52,18 @@ class DesignMetrics:
     cycles_per_pairing: float = 0.0
     accumulator_mode: str = "shared"
     final_exp_mode: str = "generic"
+    #: End-to-end service figures (populated only when the point was evaluated
+    #: with a ``service_profile``): request latency percentiles in µs and the
+    #: sustained verifications/sec of the modelled dynamic-batching service
+    #: running this design, plus how many trace requests backpressure rejected.
+    service_p50_us: float = 0.0
+    service_p95_us: float = 0.0
+    service_p99_us: float = 0.0
+    service_vps: float = 0.0
+    service_rejected: int = 0
 
     def describe(self) -> dict:
-        return {
+        summary = {
             "label": self.label,
             "curve": self.curve,
             "cycles": self.cycles,
@@ -70,14 +79,28 @@ class DesignMetrics:
             "accumulator_mode": self.accumulator_mode,
             "final_exp_mode": self.final_exp_mode,
         }
+        if self.service_vps:
+            summary["service"] = {
+                "p50_us": round(self.service_p50_us, 2),
+                "p95_us": round(self.service_p95_us, 2),
+                "p99_us": round(self.service_p99_us, 2),
+                "sustained_vps": round(self.service_vps, 1),
+                "rejected": self.service_rejected,
+            }
+        return summary
 
 
 #: Built-in optimisation objectives (all are "larger is better" after negation).
+#: The ``service_*`` objectives rank by the end-to-end serving figures and are
+#: only meaningful for sweeps evaluated with a ``service_profile`` (the fields
+#: stay 0 otherwise and the ranking degenerates to submission order).
 OBJECTIVES = {
     "throughput": lambda m: m.throughput_ops,
     "latency": lambda m: -m.latency_us,
     "area": lambda m: -m.area_mm2,
     "efficiency": lambda m: m.throughput_per_mm2,
+    "service_throughput": lambda m: m.service_vps,
+    "service_p99": lambda m: -m.service_p99_us,
 }
 
 
@@ -146,6 +169,60 @@ def _resolve_accumulator_policy(split_accumulators) -> str:
     )
 
 
+def _service_level_metrics(curve, point, n_cores, freq, profile, fe_mode,
+                           accumulator_mode, do_assemble) -> dict:
+    """End-to-end service figures of one design under a traffic profile.
+
+    The design point's batched kernel is compiled at one-request and
+    full-batch width (``pairs_per_request`` and
+    ``pairs_per_request * max_batch`` fused pairs) with the accumulator and
+    final-exp modes that scored the point; intermediate batch sizes use the
+    affine interpolation between the two -- batched-kernel cycles are a fixed
+    final-exponentiation tail plus a per-pair slope, so the two-point model
+    is faithful and costs two (cached) compilations per point.  The kernel
+    latencies feed the deterministic virtual-time replay of the dynamic
+    batcher (:func:`repro.service.simulate.simulate_batch_queue`) against the
+    profile's seeded arrival trace.
+    """
+    from repro.service.simulate import arrival_times, simulate_batch_queue
+
+    split = accumulator_mode == "split" and n_cores > 1
+    hw_cores = point.hw.with_cores(n_cores)
+
+    def batch_cycles(n_requests: int) -> int:
+        return compile_multi_pairing(
+            curve, profile.pairs_per_request * n_requests, hw=hw_cores,
+            variant_config=point.variant_config, do_assemble=do_assemble,
+            split_accumulators=split, final_exp_mode=fe_mode,
+        ).cycles
+
+    one = batch_cycles(1)
+    if profile.max_batch == 1:
+        def service_time_us(k: int) -> float:
+            return one / freq
+    else:
+        slope = (batch_cycles(profile.max_batch) - one) / (profile.max_batch - 1)
+
+        def service_time_us(k: int) -> float:
+            return (one + slope * (k - 1)) / freq
+
+    outcome = simulate_batch_queue(
+        arrival_times(profile.n_requests, profile.rate_rps / 1e6,
+                      distribution=profile.arrival, seed=profile.seed),
+        service_time_us,
+        max_batch=profile.max_batch,
+        deadline=profile.deadline_us,
+        queue_bound=profile.queue_bound,
+    )
+    return {
+        "service_p50_us": outcome.latency_percentile(50),
+        "service_p95_us": outcome.latency_percentile(95),
+        "service_p99_us": outcome.latency_percentile(99),
+        "service_vps": outcome.sustained_throughput() * 1e6,
+        "service_rejected": outcome.rejected,
+    }
+
+
 def evaluate_design_point(
     curve,
     point: DesignPoint,
@@ -155,6 +232,7 @@ def evaluate_design_point(
     batch_size: int | None = None,
     split_accumulators="auto",
     final_exp_mode="cyclotomic",
+    service_profile=None,
 ) -> DesignMetrics:
     """Compile + simulate + price one design point.
 
@@ -177,6 +255,15 @@ def evaluate_design_point(
     co-design loop should rank against) or ``"compressed"`` force one kernel;
     ``"auto"`` compiles all three and scores the point on the fastest, with
     the winner recorded in :attr:`DesignMetrics.final_exp_mode`.
+
+    ``service_profile`` (a :class:`repro.service.simulate.ServiceProfile`)
+    additionally scores the point as a *serving deployment*: the design's
+    batched kernel latencies drive the deterministic virtual-time replay of
+    the dynamic-batching service under the profile's traffic, and the
+    ``service_*`` fields of :class:`DesignMetrics` (request latency
+    percentiles, sustained verifications/sec, rejections) are populated so
+    the ``"service_throughput"`` / ``"service_p99"`` objectives can rank
+    designs by end-to-end serving behaviour instead of raw kernel cycles.
 
     Degenerate inputs fail loudly at entry: a non-positive or non-integral
     ``batch_size`` or ``n_cores`` raises ``ValueError`` instead of compiling a
@@ -242,6 +329,11 @@ def evaluate_design_point(
         cycles_per_pairing = float(result.cycles)
     area = estimate_area(point.hw, result.imem_bits, result.total_registers,
                          n_cores=n_cores, technology=technology)
+    service_fields = {}
+    if service_profile is not None:
+        service_fields = _service_level_metrics(
+            curve, point, n_cores, freq, service_profile, fe_winner,
+            accumulator_mode, do_assemble)
     return DesignMetrics(
         label=point.display_label,
         curve=curve.name,
@@ -258,6 +350,7 @@ def evaluate_design_point(
         cycles_per_pairing=cycles_per_pairing,
         accumulator_mode=accumulator_mode,
         final_exp_mode=fe_winner,
+        **service_fields,
     )
 
 

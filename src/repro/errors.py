@@ -39,3 +39,20 @@ class SimulationError(ReproError):
 
 class DSEError(ReproError):
     """Design-space exploration failure."""
+
+
+class ServiceError(ReproError):
+    """Streaming verification service failure (bad config, closed service...)."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """Request rejected by backpressure: the admission queue is full.
+
+    Carries ``retry_after_s``, the service's estimate of how long the caller
+    should wait before resubmitting (queue depth divided by the recent batch
+    drain rate).  Analogous to HTTP 429 + ``Retry-After``.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 0.0):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s

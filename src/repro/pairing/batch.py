@@ -199,7 +199,27 @@ class _PrecomputedSource:
 # ---------------------------------------------------------------------------
 
 def precompute_g2(curve, Q, use_naf: bool = True) -> G2Precomputation:
-    """Precompute the P-independent Miller-loop line coefficients of ``Q``."""
+    """Precompute the P-independent Miller-loop line coefficients of ``Q``.
+
+    The Miller-loop walk of a pairing depends on ``Q`` alone until the line
+    functions are evaluated at ``P``; for a *fixed* G2 point (a Groth16
+    verifying key, a BLS public key, the G2 generator) that walk can be done
+    once and replayed against any number of G1 points.  The returned
+    :class:`G2Precomputation` is accepted anywhere a ``Q`` is -- by
+    :func:`multi_pairing` and per pair::
+
+        import repro
+        curve = repro.get_curve("TOY-BN42")
+        pk = curve.g2_generator                     # some fixed G2 point
+        pre = repro.precompute_g2(curve, pk)
+        lhs = repro.multi_pairing(curve, [(curve.g1_generator, pre)])
+        rhs = repro.optimal_ate_pairing(curve, curve.g1_generator, pk)
+        assert lhs == rhs
+
+    ``use_naf`` must match the ``use_naf`` of the consuming pairing call (the
+    digit form changes the walk); the point at infinity has no line
+    coefficients and raises :class:`~repro.errors.PairingError`.
+    """
     ctx = ConcretePairingContext(curve)
     q_affine = as_affine_pair(Q, role="Q (G2 point)")
     if q_affine is None:
@@ -398,6 +418,17 @@ def multi_pairing(curve, pairs, use_naf: bool = True, accumulators: int = 1,
     return the identical product (the software "compressed" path falls back
     to Granger-Scott squarings on the measure-zero degenerate Karabina
     determinants), the default "cyclotomic" fast path is strictly cheaper.
+
+    Example -- a pairing-product equation check (the Groth16/BLS verifier
+    shape), with the fixed G2 point precomputed::
+
+        import repro
+        curve = repro.get_curve("TOY-BN42")
+        g1, g2 = curve.g1_generator, curve.g2_generator
+        pre = repro.precompute_g2(curve, g2)
+        # e(-P, Q) * e(P, Q) == 1
+        product = repro.multi_pairing(curve, [(-g1, pre), (g1, pre)])
+        assert product.is_one()
     """
     accumulators = validate_accumulator_count(accumulators)
     try:

@@ -1,0 +1,209 @@
+"""Asyncio dynamic batcher: coalesce a request stream into bounded batches.
+
+The classic inference-serving shape applied to pairing verification.  Requests
+are admitted into a bounded queue; a single consumer task forms batches under
+the latency-deadline policy and hands them to an async ``flush`` callable (the
+service runs the CPU-bound verification in a worker thread so the event loop
+keeps admitting traffic while a batch is being verified).
+
+Policy -- a batch is flushed when EITHER
+    * it has reached ``max_batch`` requests (flush immediately), OR
+    * ``deadline_s`` has elapsed since its *oldest* request arrived
+(whichever comes first).  A backlogged queue is drained greedily: when the
+consumer frees up it first fills the batch with whatever is already waiting
+and only waits out the deadline for the remainder -- under saturation batches
+are always full and the deadline never adds latency.
+
+Backpressure -- :meth:`DynamicBatcher.admit` rejects with
+:class:`~repro.errors.ServiceOverloadedError` (carrying a ``retry_after_s``
+estimate from the EMA of recent batch service times) once ``queue_bound``
+requests are waiting, so overload surfaces as an explicit, retryable signal
+instead of unbounded queueing.
+
+Results are routed back through one :class:`asyncio.Future` per request, so
+ordering inside a batch and interleaving across batches cannot mix up
+callers.  The same policy, in virtual time, is modelled deterministically by
+:func:`repro.service.simulate.simulate_batch_queue` -- keep the two in sync.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.errors import ServiceError, ServiceOverloadedError
+
+
+class _Pending:
+    """One admitted request: payload, result future, arrival timestamp."""
+
+    __slots__ = ("item", "future", "arrival")
+
+    def __init__(self, item, future, arrival: float):
+        self.item = item
+        self.future = future
+        self.arrival = arrival
+
+
+class DynamicBatcher:
+    """Deadline/max-batch coalescing in front of an async ``flush`` callable.
+
+    ``flush(items)`` receives the batched payloads (oldest first) and must
+    return one result per item, in order; its exceptions are propagated to
+    every request of the failed batch.  Construction is cheap and loop-free;
+    :meth:`start` spawns the consumer task on the running loop.
+    """
+
+    def __init__(self, flush, *, max_batch: int, deadline_s: float,
+                 queue_bound: int, retry_after_s: float | None = None,
+                 metrics=None):
+        if max_batch < 1:
+            raise ServiceError(f"max_batch must be >= 1, got {max_batch!r}")
+        if deadline_s < 0:
+            raise ServiceError(f"deadline_s must be >= 0, got {deadline_s!r}")
+        if queue_bound < 1:
+            raise ServiceError(f"queue_bound must be >= 1, got {queue_bound!r}")
+        self._flush = flush
+        self.max_batch = max_batch
+        self.deadline_s = deadline_s
+        self.queue_bound = queue_bound
+        self.retry_after_s = retry_after_s
+        self.metrics = metrics
+        self._queue: asyncio.Queue = asyncio.Queue()
+        self._consumer: asyncio.Task | None = None
+        self._closed = False
+        self._outstanding = 0
+        self._idle: asyncio.Event = asyncio.Event()
+        self._idle.set()
+        #: EMA of recent batch wall-clock service times (None until first flush).
+        self._ema_batch_s: float | None = None
+
+    # -- admission ---------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        """Requests admitted but not yet taken into a batch."""
+        return self._queue.qsize()
+
+    def estimate_retry_after_s(self) -> float:
+        """How long a rejected caller should wait before resubmitting.
+
+        The configured fixed hint when one was given; otherwise the time to
+        drain the current backlog at the recently observed batch service rate
+        (falling back to the deadline before the first batch completes).
+        """
+        if self.retry_after_s is not None:
+            return self.retry_after_s
+        per_batch = self._ema_batch_s
+        if per_batch is None:
+            per_batch = max(self.deadline_s, 1e-3)
+        backlog_batches = (self._queue.qsize() + self.max_batch) // self.max_batch
+        return backlog_batches * per_batch
+
+    def admit(self, item) -> asyncio.Future:
+        """Enqueue ``item``; returns the future its batch result will resolve.
+
+        Must be called on the event loop.  Raises
+        :class:`ServiceOverloadedError` when ``queue_bound`` requests are
+        already waiting, and :class:`ServiceError` after :meth:`stop`.
+        """
+        if self._closed:
+            raise ServiceError("batcher is stopped; no further admissions")
+        loop = asyncio.get_running_loop()
+        if self._queue.qsize() >= self.queue_bound:
+            if self.metrics is not None:
+                self.metrics.record_rejection()
+            raise ServiceOverloadedError(
+                f"queue full ({self.queue_bound} requests waiting)",
+                retry_after_s=self.estimate_retry_after_s(),
+            )
+        now = loop.time()
+        pending = _Pending(item, loop.create_future(), now)
+        self._queue.put_nowait(pending)
+        self._outstanding += 1
+        self._idle.clear()
+        if self.metrics is not None:
+            self.metrics.record_admit(now)
+        return pending.future
+
+    # -- lifecycle ---------------------------------------------------------------
+    async def start(self) -> None:
+        """Spawn the consumer task (idempotent)."""
+        if self._closed:
+            raise ServiceError("batcher is stopped")
+        if self._consumer is None:
+            self._consumer = asyncio.get_running_loop().create_task(self._consume())
+
+    async def stop(self, drain: bool = True) -> None:
+        """Stop admissions; optionally wait for queued work, then kill the consumer."""
+        self._closed = True
+        if drain and self._outstanding:
+            await self._idle.wait()
+        if self._consumer is not None:
+            self._consumer.cancel()
+            try:
+                await self._consumer
+            except asyncio.CancelledError:
+                pass
+            self._consumer = None
+
+    # -- batching ----------------------------------------------------------------
+    async def _collect_batch(self) -> list:
+        """Block for the first request, then apply the flush policy."""
+        batch = [await self._queue.get()]
+        # Greedy phase: a backlog fills the batch without waiting.
+        while len(batch) < self.max_batch:
+            try:
+                batch.append(self._queue.get_nowait())
+            except asyncio.QueueEmpty:
+                break
+        # Deadline phase: wait out the oldest request's deadline for the rest.
+        if len(batch) < self.max_batch and self.deadline_s > 0:
+            loop = asyncio.get_running_loop()
+            flush_at = batch[0].arrival + self.deadline_s
+            while len(batch) < self.max_batch:
+                remaining = flush_at - loop.time()
+                if remaining <= 0:
+                    break
+                try:
+                    batch.append(await asyncio.wait_for(self._queue.get(), remaining))
+                except asyncio.TimeoutError:
+                    break
+        return batch
+
+    def _settle(self, batch: list, results=None, error: BaseException | None = None) -> None:
+        loop = asyncio.get_running_loop()
+        now = loop.time()
+        for index, pending in enumerate(batch):
+            if not pending.future.done():       # caller may have abandoned it
+                if error is not None:
+                    pending.future.set_exception(error)
+                else:
+                    pending.future.set_result(results[index])
+            if error is None and self.metrics is not None:
+                self.metrics.record_result(now - pending.arrival, now)
+            self._outstanding -= 1
+        if not self._outstanding:
+            self._idle.set()
+
+    async def _consume(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            batch = await self._collect_batch()
+            started = loop.time()
+            try:
+                results = await self._flush([pending.item for pending in batch])
+                if results is None or len(results) != len(batch):
+                    raise ServiceError(
+                        f"flush returned {0 if results is None else len(results)} "
+                        f"results for a batch of {len(batch)}")
+            except asyncio.CancelledError:
+                self._settle(batch, error=ServiceError("batcher stopped mid-batch"))
+                raise
+            except Exception as exc:           # noqa: BLE001 - routed to callers
+                self._settle(batch, error=exc)
+            else:
+                self._settle(batch, results=results)
+            elapsed = loop.time() - started
+            self._ema_batch_s = elapsed if self._ema_batch_s is None \
+                else 0.8 * self._ema_batch_s + 0.2 * elapsed
+            if self.metrics is not None:
+                self.metrics.record_batch(len(batch), elapsed, self._queue.qsize())

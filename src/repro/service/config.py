@@ -1,0 +1,156 @@
+"""Configuration of the streaming verification service.
+
+One frozen dataclass carries every operator-facing knob of
+:class:`repro.service.VerificationService` and of the virtual-time model the
+DSE layer runs (:mod:`repro.service.simulate`).  Defaults come from the
+``FINESSE_SERVICE_*`` environment variables via :meth:`ServiceConfig.from_env`,
+mirroring how ``FINESSE_DSE_WORKERS`` / ``FINESSE_CACHE_DIR`` configure the
+exploration engine and the artifact store; explicit constructor arguments
+always win over the environment.
+
+See ``docs/serving.md`` for the operator guide (what each knob trades off,
+with measured numbers from ``benchmarks/bench_service.py``).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+
+from repro.errors import ServiceError
+from repro.pairing.final_exp import FINAL_EXP_MODES
+
+#: Environment variables read by :meth:`ServiceConfig.from_env`.
+MAX_BATCH_ENV = "FINESSE_SERVICE_MAX_BATCH"
+DEADLINE_ENV = "FINESSE_SERVICE_DEADLINE_MS"
+QUEUE_BOUND_ENV = "FINESSE_SERVICE_QUEUE_BOUND"
+FUSE_ENV = "FINESSE_SERVICE_FUSE"
+
+#: Accepted cross-request batching modes (see ``docs/serving.md``).
+FUSE_MODES = ("rlc", "none")
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Knobs of the dynamic batcher and the batched verification path.
+
+    ``max_batch``
+        Maximum number of *requests* fused into one ``multi_pairing`` call.
+        A full batch flushes immediately; ``1`` disables cross-request
+        batching entirely (the baseline configuration the benchmark compares
+        against).
+    ``deadline_ms``
+        Latency deadline of a forming batch, measured from the arrival of its
+        *oldest* request.  A batch flushes when the deadline expires OR when
+        it reaches ``max_batch``, whichever comes first; ``0`` flushes
+        greedily (whatever is queued when the server frees up).
+    ``queue_bound``
+        Maximum number of admitted-but-unserved requests.  Admission beyond
+        the bound raises :class:`repro.errors.ServiceOverloadedError` with a
+        ``retry_after_s`` estimate -- explicit backpressure instead of
+        unbounded memory growth.
+    ``fuse``
+        Cross-request batching mode.  ``"rlc"`` (default) checks the whole
+        batch with one random-linear-combination fused product -- one Miller
+        chain and ONE final exponentiation for the batch -- and falls back to
+        exact per-request verification whenever the fused check fails, so
+        rejected requests are always attributed exactly.  ``"none"`` verifies
+        each request's product individually inside the batch (still one
+        executor trip; useful for measuring the fusion win in isolation).
+    ``use_naf`` / ``accumulators`` / ``final_exp_mode``
+        Passed through to :func:`repro.multi_pairing` for every service-path
+        product (and to :func:`repro.precompute_g2` for cached keys).
+    ``vk_cache_entries``
+        LRU capacity of the verifying-key precomputation cache
+        (:class:`repro.service.vkcache.VerifyingKeyCache`).
+    ``retry_after_ms``
+        Fixed ``retry_after_s`` hint for rejected requests; ``None`` (default)
+        estimates it from the queue depth and the EMA of recent batch service
+        times.
+    """
+
+    max_batch: int = 8
+    deadline_ms: float = 20.0
+    queue_bound: int = 256
+    fuse: str = "rlc"
+    use_naf: bool = True
+    accumulators: int = 1
+    final_exp_mode: str = "cyclotomic"
+    vk_cache_entries: int = 128
+    retry_after_ms: float | None = None
+
+    def __post_init__(self):
+        if isinstance(self.max_batch, bool) or not isinstance(self.max_batch, int) \
+                or self.max_batch < 1:
+            raise ServiceError(
+                f"max_batch must be a positive integer, got {self.max_batch!r}")
+        if not isinstance(self.deadline_ms, (int, float)) \
+                or isinstance(self.deadline_ms, bool) or self.deadline_ms < 0:
+            raise ServiceError(
+                f"deadline_ms must be a non-negative number, got {self.deadline_ms!r}")
+        if isinstance(self.queue_bound, bool) or not isinstance(self.queue_bound, int) \
+                or self.queue_bound < 1:
+            raise ServiceError(
+                f"queue_bound must be a positive integer, got {self.queue_bound!r}")
+        if self.fuse not in FUSE_MODES:
+            raise ServiceError(f"fuse must be one of {FUSE_MODES}, got {self.fuse!r}")
+        if self.final_exp_mode not in FINAL_EXP_MODES:
+            raise ServiceError(
+                f"final_exp_mode must be one of {FINAL_EXP_MODES}, "
+                f"got {self.final_exp_mode!r}")
+        if isinstance(self.accumulators, bool) or not isinstance(self.accumulators, int) \
+                or self.accumulators < 1:
+            raise ServiceError(
+                f"accumulators must be a positive integer, got {self.accumulators!r}")
+        if isinstance(self.vk_cache_entries, bool) \
+                or not isinstance(self.vk_cache_entries, int) or self.vk_cache_entries < 1:
+            raise ServiceError(
+                f"vk_cache_entries must be a positive integer, "
+                f"got {self.vk_cache_entries!r}")
+        if self.retry_after_ms is not None and (
+                not isinstance(self.retry_after_ms, (int, float))
+                or isinstance(self.retry_after_ms, bool) or self.retry_after_ms < 0):
+            raise ServiceError(
+                f"retry_after_ms must be None or a non-negative number, "
+                f"got {self.retry_after_ms!r}")
+
+    @property
+    def deadline_s(self) -> float:
+        return self.deadline_ms / 1e3
+
+    @classmethod
+    def from_env(cls, **overrides) -> "ServiceConfig":
+        """Config from ``FINESSE_SERVICE_*`` variables; ``overrides`` win.
+
+        Unset or unparseable variables fall back to the dataclass defaults --
+        a malformed environment must not take the service down, it only loses
+        the customisation.
+        """
+        env: dict = {}
+        raw = os.environ.get(MAX_BATCH_ENV)
+        if raw is not None:
+            try:
+                env["max_batch"] = int(raw)
+            except ValueError:
+                pass
+        raw = os.environ.get(DEADLINE_ENV)
+        if raw is not None:
+            try:
+                env["deadline_ms"] = float(raw)
+            except ValueError:
+                pass
+        raw = os.environ.get(QUEUE_BOUND_ENV)
+        if raw is not None:
+            try:
+                env["queue_bound"] = int(raw)
+            except ValueError:
+                pass
+        raw = os.environ.get(FUSE_ENV)
+        if raw in FUSE_MODES:
+            env["fuse"] = raw
+        env.update(overrides)
+        return cls(**env)
+
+    def with_overrides(self, **changes) -> "ServiceConfig":
+        """A copy with ``changes`` applied (validated like the constructor)."""
+        return replace(self, **changes)

@@ -1,0 +1,194 @@
+"""The streaming verification service: async batched Groth16/BLS verification.
+
+:class:`VerificationService` turns a stream of independent verification
+requests into well-shaped ``multi_pairing`` batches:
+
+* requests are admitted through the bounded :class:`~repro.service.batcher.
+  DynamicBatcher` (flush on deadline OR max-batch, reject-with-retry-after on
+  overflow);
+* the fixed G2 points of every request (Groth16 verifying keys, BLS public
+  keys, the G2 generator) come from the content-addressed
+  :class:`~repro.service.vkcache.VerifyingKeyCache`, so their Miller-loop
+  line coefficients are computed once per key, not once per request;
+* a flushed batch is checked with ONE fused pairing product (see below) in a
+  single worker thread, so the event loop keeps admitting and coalescing
+  traffic while the CPU-bound verification runs;
+* per-request and per-batch telemetry lands in
+  :class:`~repro.service.metrics.ServiceMetrics`.
+
+The fused batch check
+---------------------
+Each request *j* is an independent "product is one" check
+``Pi_i e(P_ji, Q_ji) == 1``.  Under the default ``fuse="rlc"`` policy the
+batch draws fresh random coefficients ``r_j`` (with ``r_0 = 1``) and checks
+
+    Pi_j Pi_i e(r_j * P_ji, Q_ji)  ==  1
+
+-- one shared Miller accumulator and ONE final exponentiation for the whole
+batch, with the scaling applied on the cheap G1 side so cached G2
+precomputations still replay.  If every request is valid the fused product is
+1 and all requests are accepted.  If the fused check fails, the service falls
+back to verifying every request of the batch individually with the exact
+unbatched product, so every rejection (and every acceptance on a failing
+batch) is attributed exactly -- honest and forged traffic both receive
+verdicts identical to per-request ``multi_pairing`` verification.  The only
+deviation from the unbatched semantics is the standard random-linear-
+combination one: inputs crafted so their errors cancel *against the service's
+secret per-batch randomness* pass with probability at most
+``(batch - 1) / r``.  ``fuse="none"`` disables fusion (exact per-request
+products inside the batch) for measurement or for the paranoid.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.errors import ServiceError
+from repro.pairing.batch import multi_pairing
+from repro.service.batcher import DynamicBatcher
+from repro.service.config import ServiceConfig
+from repro.service.metrics import ServiceMetrics
+from repro.service.vkcache import VerifyingKeyCache
+from repro.service.workloads import (
+    BLSRequest,
+    Groth16Proof,
+    Groth16Request,
+    Groth16VerifyingKey,
+    build_request_pairs,
+)
+
+
+class _PreparedRequest:
+    """A request reduced to its ``multi_pairing`` pairs at admission time."""
+
+    __slots__ = ("pairs",)
+
+    def __init__(self, pairs):
+        self.pairs = pairs
+
+
+class VerificationService:
+    """Async dynamic-batching front end over the software pairing library.
+
+    Usage::
+
+        service = VerificationService(get_curve("TOY-BN42"))
+        async with service:
+            ok = await service.verify(request)          # any request shape
+            ok = await service.verify_groth16(proof, vk)
+            ok = await service.verify_bls(public_key, message, signature)
+
+    ``config`` defaults to :meth:`ServiceConfig.from_env`.  ``rng`` supplies
+    the per-batch random-linear-combination coefficients and defaults to a
+    system-entropy CSPRNG; inject a seeded ``random.Random`` only in tests.
+    """
+
+    def __init__(self, curve, config: ServiceConfig | None = None, *, rng=None):
+        self.curve = curve
+        self.config = config if config is not None else ServiceConfig.from_env()
+        self.metrics = ServiceMetrics()
+        self.vk_cache = VerifyingKeyCache(
+            curve, max_entries=self.config.vk_cache_entries,
+            use_naf=self.config.use_naf)
+        self._rng = rng if rng is not None else random.SystemRandom()
+        self._batcher = DynamicBatcher(
+            self._flush,
+            max_batch=self.config.max_batch,
+            deadline_s=self.config.deadline_s,
+            queue_bound=self.config.queue_bound,
+            retry_after_s=None if self.config.retry_after_ms is None
+            else self.config.retry_after_ms / 1e3,
+            metrics=self.metrics,
+        )
+        self._executor: ThreadPoolExecutor | None = None
+
+    # -- lifecycle ---------------------------------------------------------------
+    async def start(self) -> None:
+        """Spawn the batch consumer and the verification worker (idempotent)."""
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="finesse-verify")
+        await self._batcher.start()
+
+    async def stop(self, drain: bool = True) -> None:
+        """Stop admissions, optionally drain queued work, release the worker."""
+        await self._batcher.stop(drain=drain)
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    async def __aenter__(self) -> "VerificationService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # -- admission ---------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        """Requests admitted but not yet taken into a batch."""
+        return self._batcher.queue_depth
+
+    def submit(self, request) -> asyncio.Future:
+        """Admit a request; returns the future of its boolean verdict.
+
+        Building the pairs (including any verifying-key cache fill) happens
+        here, on the event loop, so by flush time a batch is pure pairing
+        work.  Raises :class:`~repro.errors.ServiceOverloadedError` when the
+        admission queue is full -- the caller should back off for the
+        exception's ``retry_after_s`` and resubmit.
+        """
+        prepared = _PreparedRequest(
+            build_request_pairs(request, self.curve, self.vk_cache))
+        return self._batcher.admit(prepared)
+
+    async def verify(self, request) -> bool:
+        """Admit a request and await its verdict."""
+        return await self.submit(request)
+
+    async def verify_groth16(self, proof: Groth16Proof,
+                             vk: Groth16VerifyingKey) -> bool:
+        """Verify ``e(A, B) = e(alpha, beta) * e(C, delta)`` for one proof."""
+        return await self.verify(Groth16Request(proof=proof, vk=vk))
+
+    async def verify_bls(self, public_key, message: bytes, signature) -> bool:
+        """Verify one BLS signature ``e(sigma, g2) == e(H(m), pk)``."""
+        return await self.verify(BLSRequest(
+            public_key=public_key, message=message, signature=signature))
+
+    # -- verification ------------------------------------------------------------
+    async def _flush(self, batch) -> list:
+        if self._executor is None:
+            raise ServiceError("service is not started")
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._executor, self._verify_batch, batch)
+
+    def _product_is_one(self, pairs) -> bool:
+        return multi_pairing(
+            self.curve, pairs,
+            use_naf=self.config.use_naf,
+            accumulators=self.config.accumulators,
+            final_exp_mode=self.config.final_exp_mode,
+        ).is_one()
+
+    def _verify_batch(self, batch) -> list:
+        """One batch, verified in the worker thread; one verdict per request."""
+        if len(batch) == 1 or self.config.fuse == "none":
+            return [self._product_is_one(prepared.pairs) for prepared in batch]
+        # Random linear combination: scale each request's G1 points by a fresh
+        # secret coefficient (the first is 1 -- scaling every request is
+        # unnecessary for soundness) and fuse everything into one product.
+        coefficients = [1] + [self._rng.randrange(1, self.curve.r)
+                              for _ in batch[1:]]
+        fused = []
+        for coefficient, prepared in zip(coefficients, batch):
+            for P, Q in prepared.pairs:
+                fused.append((P if coefficient == 1 else P.scalar_mul(coefficient), Q))
+        if self._product_is_one(fused):
+            return [True] * len(batch)
+        # The fused product failed: at least one request is invalid.  Attribute
+        # exactly by re-verifying each request with the unbatched product.
+        return [self._product_is_one(prepared.pairs) for prepared in batch]

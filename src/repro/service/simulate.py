@@ -1,0 +1,198 @@
+"""Deterministic virtual-time model of the dynamic-batching service.
+
+The DSE layer cannot rank hardware designs with a wall-clock load test -- it
+needs a *deterministic* end-to-end figure per design point.  This module
+replays the exact flush policy of :class:`repro.service.batcher.DynamicBatcher`
+(greedy fill from backlog, then flush on the oldest request's deadline OR on
+max-batch, single server, bounded waiting queue with rejections) in virtual
+time against a seeded arrival trace and a per-batch service-time model, and
+reports the same figures the live service's metrics report: latency
+percentiles, sustained verifications per second, batch-size histogram and
+rejections.
+
+Time is unitless: pass arrival times and a ``service_time`` callable in the
+same unit (seconds for wall-clock what-ifs, microseconds for the DSE layer,
+cycles for frequency-independent comparisons) and read the results in that
+unit.  Everything is a pure function of its arguments, so the numbers are
+bit-reproducible across processes and machines -- which is what lets CI guard
+them like cycle counts.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from random import Random
+
+from repro.errors import ServiceError
+from repro.service.metrics import percentile
+
+#: Supported arrival processes of :func:`arrival_times`.
+ARRIVAL_DISTRIBUTIONS = ("uniform", "poisson", "burst")
+
+
+def arrival_times(n: int, rate: float, distribution: str = "poisson",
+                  seed: int = 0, burst: int = 8) -> list:
+    """``n`` monotone arrival instants at mean ``rate`` requests per time unit.
+
+    ``"uniform"`` spaces requests exactly ``1/rate`` apart (closed-form,
+    worst case for batching: no natural bursts); ``"poisson"`` draws
+    exponential inter-arrival gaps from ``Random(seed)`` (the open-loop
+    traffic model); ``"burst"`` releases requests in back-to-back groups of
+    ``burst`` at the same mean rate (best case for batching).  The first
+    request arrives at t=0.
+    """
+    if isinstance(n, bool) or not isinstance(n, int) or n < 0:
+        raise ServiceError(f"n must be a non-negative integer, got {n!r}")
+    if rate <= 0:
+        raise ServiceError(f"rate must be positive, got {rate!r}")
+    if distribution == "uniform":
+        return [i / rate for i in range(n)]
+    if distribution == "poisson":
+        rng = Random(seed)
+        t, times = 0.0, []
+        for _ in range(n):
+            times.append(t)
+            t += rng.expovariate(rate)
+        return times
+    if distribution == "burst":
+        if isinstance(burst, bool) or not isinstance(burst, int) or burst < 1:
+            raise ServiceError(f"burst must be a positive integer, got {burst!r}")
+        return [(i // burst) * (burst / rate) for i in range(n)]
+    raise ServiceError(
+        f"distribution must be one of {ARRIVAL_DISTRIBUTIONS}, got {distribution!r}")
+
+
+@dataclass(frozen=True)
+class ServiceProfile:
+    """Traffic + policy profile for service-level design evaluation.
+
+    Consumed by :func:`repro.dse.explorer.evaluate_design_point` (its
+    ``service_profile`` argument): the design point's compiled batched kernel
+    supplies the per-batch service time, this profile supplies everything
+    else.  ``rate_rps`` is the offered load in requests per second;
+    ``pairs_per_request`` is the pairing-product width of one request (3 for
+    the Groth16 shape, 2 for BLS); the remaining knobs mirror
+    :class:`repro.service.config.ServiceConfig`.
+    """
+
+    rate_rps: float
+    max_batch: int = 8
+    deadline_us: float = 500.0
+    queue_bound: int = 64
+    pairs_per_request: int = 3
+    n_requests: int = 256
+    arrival: str = "poisson"
+    seed: int = 1
+
+    def __post_init__(self):
+        if self.rate_rps <= 0:
+            raise ServiceError(f"rate_rps must be positive, got {self.rate_rps!r}")
+        for name in ("max_batch", "queue_bound", "pairs_per_request", "n_requests"):
+            value = getattr(self, name)
+            if isinstance(value, bool) or not isinstance(value, int) or value < 1:
+                raise ServiceError(f"{name} must be a positive integer, got {value!r}")
+        if self.deadline_us < 0:
+            raise ServiceError(
+                f"deadline_us must be non-negative, got {self.deadline_us!r}")
+        if self.arrival not in ARRIVAL_DISTRIBUTIONS:
+            raise ServiceError(
+                f"arrival must be one of {ARRIVAL_DISTRIBUTIONS}, got {self.arrival!r}")
+
+
+@dataclass
+class BatchQueueResult:
+    """Outcome of one virtual-time run (same time unit as the inputs)."""
+
+    latencies: list = field(default_factory=list)
+    batch_sizes: list = field(default_factory=list)
+    rejected: int = 0
+    completed: int = 0
+    makespan: float = 0.0
+
+    def latency_percentile(self, q: float) -> float:
+        return percentile(self.latencies, q)
+
+    def sustained_throughput(self) -> float:
+        """Completed requests per time unit, first arrival to last completion."""
+        return self.completed / self.makespan if self.makespan > 0 else 0.0
+
+    def batch_size_histogram(self) -> dict:
+        return dict(sorted(Counter(self.batch_sizes).items()))
+
+    def describe(self) -> dict:
+        return {
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "batches": len(self.batch_sizes),
+            "batch_size_histogram": self.batch_size_histogram(),
+            "p50": round(self.latency_percentile(50), 3),
+            "p95": round(self.latency_percentile(95), 3),
+            "p99": round(self.latency_percentile(99), 3),
+            "sustained_throughput": round(self.sustained_throughput(), 6),
+        }
+
+
+def simulate_batch_queue(arrivals, service_time, *, max_batch: int,
+                         deadline: float, queue_bound: int | None = None) -> BatchQueueResult:
+    """Replay the dynamic-batching policy over an arrival trace.
+
+    ``arrivals`` is a non-decreasing sequence of admission instants;
+    ``service_time(batch_size)`` is the server occupancy of one flushed batch.
+    A single server forms batches exactly like the live batcher: greedy fill
+    from whatever has already arrived, then wait until the oldest waiting
+    request's ``deadline`` (or until the batch fills) before flushing.
+    Arrivals that would exceed ``queue_bound`` waiting requests are rejected,
+    mirroring the live admission check (``None`` = unbounded).
+    """
+    if max_batch < 1:
+        raise ServiceError(f"max_batch must be >= 1, got {max_batch!r}")
+    if deadline < 0:
+        raise ServiceError(f"deadline must be >= 0, got {deadline!r}")
+    arrivals = list(arrivals)
+    if any(b < a for a, b in zip(arrivals, arrivals[1:])):
+        raise ServiceError("arrival times must be non-decreasing")
+    result = BatchQueueResult()
+    waiting: deque = deque()
+    cursor = 0                         # next arrival not yet admitted/rejected
+    t_free = 0.0                       # server becomes idle at this instant
+
+    def admit_until(t: float) -> None:
+        nonlocal cursor
+        while cursor < len(arrivals) and arrivals[cursor] <= t:
+            if queue_bound is not None and len(waiting) >= queue_bound:
+                result.rejected += 1
+            else:
+                waiting.append(arrivals[cursor])
+            cursor += 1
+
+    while cursor < len(arrivals) or waiting:
+        if not waiting:
+            admit_until(arrivals[cursor])      # jump to the next arrival burst
+            continue
+        head = waiting[0]
+        start = max(t_free, head)
+        admit_until(start)                     # greedy fill: backlog at start
+        if len(waiting) < max_batch:
+            flush_at = max(start, head + deadline)
+            # Admit arrivals one at a time until the batch fills or the
+            # deadline passes; the batch then starts at whichever came first.
+            while len(waiting) < max_batch and cursor < len(arrivals) \
+                    and arrivals[cursor] <= flush_at:
+                admit_until(arrivals[cursor])
+            if len(waiting) >= max_batch:
+                start = max(start, waiting[max_batch - 1])
+            else:
+                start = flush_at
+        batch = [waiting.popleft() for _ in range(min(max_batch, len(waiting)))]
+        duration = service_time(len(batch))
+        if duration < 0:
+            raise ServiceError(f"service_time returned {duration!r} (< 0)")
+        finish = start + duration
+        for arrival in batch:
+            result.latencies.append(finish - arrival)
+        result.batch_sizes.append(len(batch))
+        result.completed += len(batch)
+        result.makespan = finish - arrivals[0]
+        t_free = finish
+    return result

@@ -1,0 +1,86 @@
+"""Documentation health: the docs tree exists and its relative links resolve."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+TOOLS = os.path.join(REPO_ROOT, "tools")
+sys.path.insert(0, TOOLS) if TOOLS not in sys.path else None
+
+from check_links import broken_links, default_targets, iter_links  # noqa: E402
+from pathlib import Path  # noqa: E402
+
+
+def test_docs_tree_exists():
+    for name in ("docs/architecture.md", "docs/serving.md", "README.md"):
+        assert os.path.exists(os.path.join(REPO_ROOT, name)), name
+
+
+def test_readme_links_to_docs():
+    readme = Path(REPO_ROOT, "README.md").read_text()
+    assert "docs/architecture.md" in readme
+    assert "docs/serving.md" in readme
+
+
+def test_all_relative_links_resolve():
+    failures = {}
+    for markdown_file in default_targets():
+        broken = broken_links(markdown_file)
+        if broken:
+            failures[str(markdown_file)] = broken
+    assert not failures, f"broken documentation links: {failures}"
+
+
+def test_checker_catches_broken_links(tmp_path):
+    page = tmp_path / "page.md"
+    page.write_text(
+        "[ok external](https://example.com) "
+        "[ok anchor](#section) "
+        "[missing](no/such/file.md) "
+        "[missing with fragment](also_missing.md#part)\n"
+    )
+    broken = broken_links(page)
+    assert [target for target, _ in broken] == [
+        "no/such/file.md", "also_missing.md#part"]
+
+
+def test_checker_skips_fenced_code_blocks(tmp_path):
+    page = tmp_path / "page.md"
+    page.write_text("```\n[not a link](missing.md)\n```\n[real](real.md)\n")
+    (tmp_path / "real.md").write_text("x")
+    assert broken_links(page) == []
+
+
+def test_checker_handles_images_and_titles(tmp_path):
+    page = tmp_path / "page.md"
+    (tmp_path / "img.png").write_bytes(b"\x89PNG")
+    page.write_text('![shot](img.png "a title") [gone](gone.png)\n')
+    assert [target for target, _ in broken_links(page)] == ["gone.png"]
+
+
+def test_iter_links_extracts_targets():
+    text = "See [a](x.md) and ![b](y.png) but not `[c](z.md)` in code? yes it does"
+    assert list(iter_links(text)) == ["x.md", "y.png", "z.md"]
+
+
+@pytest.mark.parametrize("args,expect_ok", [([], True), (["README.md"], True)])
+def test_cli_exit_status(args, expect_ok):
+    result = subprocess.run(
+        [sys.executable, os.path.join(TOOLS, "check_links.py"), *args],
+        cwd=REPO_ROOT, capture_output=True, text=True)
+    assert (result.returncode == 0) is expect_ok, result.stdout + result.stderr
+
+
+def test_cli_fails_on_missing_file(tmp_path):
+    bad = tmp_path / "bad.md"
+    bad.write_text("[broken](never/exists.md)\n")
+    result = subprocess.run(
+        [sys.executable, os.path.join(TOOLS, "check_links.py"), str(bad)],
+        capture_output=True, text=True)
+    assert result.returncode == 1
+    assert "broken link" in result.stdout

@@ -1,0 +1,95 @@
+"""Relative-link checker for the repository's markdown documentation.
+
+Usage::
+
+    python tools/check_links.py [FILE_OR_DIR ...]
+
+With no arguments, checks ``README.md`` and every ``docs/*.md`` file.  Every
+inline markdown link or image whose target is a relative path must resolve to
+an existing file or directory (resolved against the markdown file's own
+location); ``http(s)://``, ``mailto:`` and pure in-page ``#anchor`` targets
+are skipped, and a ``path#fragment`` target is checked by its path part.
+Exit status 1 lists every broken link -- CI runs this so the docs tree cannot
+rot silently.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Inline markdown links/images: ``[text](target)`` / ``![alt](target)``.
+#: Targets with spaces or nested parens are not used in this repo's docs.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: Schemes (and scheme-like prefixes) that are not filesystem paths.
+EXTERNAL = ("http://", "https://", "mailto:", "ftp://", "data:")
+
+
+def iter_links(text: str):
+    """Yield every inline link target in ``text``, fenced code blocks excluded."""
+    in_fence = False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            yield match.group(1)
+
+
+def broken_links(markdown_file: Path) -> list:
+    """``(target, reason)`` for every unresolvable relative link in the file."""
+    failures = []
+    for target in iter_links(markdown_file.read_text(encoding="utf-8")):
+        if target.startswith(EXTERNAL):
+            continue
+        path_part = target.split("#", 1)[0]
+        if not path_part:            # pure in-page anchor
+            continue
+        resolved = (markdown_file.parent / path_part).resolve()
+        if not resolved.exists():
+            failures.append((target, f"no such path: {resolved}"))
+    return failures
+
+
+def default_targets() -> list:
+    targets = [REPO_ROOT / "README.md"]
+    targets.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return [path for path in targets if path.exists()]
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    files: list = []
+    for raw in argv or []:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.glob("*.md")))
+        else:
+            files.append(path)
+    if not files:
+        files = default_targets()
+
+    exit_code = 0
+    checked = 0
+    for markdown_file in files:
+        if not markdown_file.exists():
+            print(f"{markdown_file}: file not found")
+            exit_code = 1
+            continue
+        checked += 1
+        for target, reason in broken_links(markdown_file):
+            print(f"{markdown_file}: broken link `{target}` ({reason})")
+            exit_code = 1
+    if exit_code == 0:
+        print(f"checked {checked} file(s): all relative links resolve")
+    return exit_code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
