@@ -61,3 +61,23 @@ def test_batched_verify_cycles(benchmark, save_result):
             assert cyclo["cycles"] < generic["cycles"]
             assert compressed["final_exp_cycles"] < generic["final_exp_cycles"]
             assert compressed["cycles"] < generic["cycles"]
+    # Cross-batch pipelining: depth 1 is the one-shot kernel bit for bit, and
+    # keeping >= 2 batch instances in flight must cut the steady-state cycles
+    # per pairing strictly (the final-exp tail overlaps the next instance's
+    # Miller lanes) in both accumulator modes on the 4-core model.  Deeper
+    # pipelines may only improve or hold the steady state, never regress it.
+    pipe = result["pipeline"]["modes"]
+    pbatch = result["pipeline"]["batch"]
+    for acc_mode in ("shared", "split"):
+        assert (pipe[acc_mode]["c4"]["d1"]["cycles"]
+                == rows[pbatch]["modes"][acc_mode]["c4"]["cycles"])
+        d1 = pipe[acc_mode]["c4"]["d1"]["steady_cycles_per_pairing"]
+        d2 = pipe[acc_mode]["c4"]["d2"]["steady_cycles_per_pairing"]
+        d4 = pipe[acc_mode]["c4"]["d4"]["steady_cycles_per_pairing"]
+        assert d2 < d1
+        assert d4 <= d2
+    # The overlap is visible in the occupancy telemetry: at depth 4 the
+    # final-exp span has other cores issuing the next instances' Miller work,
+    # which a one-shot run never shows.
+    assert pipe["split"]["c4"]["d4"]["final_exp_busy_cores"] > 1
+    assert pipe["split"]["c4"]["d1"]["final_exp_busy_cores"] == 1

@@ -4,10 +4,13 @@ Reads the ``final_exp`` section of ``benchmarks/results/batch_verify.json``
 (written by the smoke bench job) and renders a markdown table of
 cycles-per-pairing for the three hard-part kernels -- generic, cyclotomic
 (Granger-Scott) and compressed (Karabina) -- per accumulator mode and core
-count, with the delta of each fast path against the generic baseline.  The
-table is printed to stdout and, when ``GITHUB_STEP_SUMMARY`` (or
-``--summary``) names a file, appended there so the per-commit perf trajectory
-of the cyclotomic fast path is visible in the Actions UI.
+count, with the delta of each fast path against the generic baseline.  When
+the payload carries a ``pipeline`` section, a second table reports the
+steady-state cycles-per-pairing of the continuously-fed accelerator per
+cross-batch pipeline depth, with the delta against the one-shot (depth 1)
+figure.  The tables are printed to stdout and, when ``GITHUB_STEP_SUMMARY``
+(or ``--summary``) names a file, appended there so the per-commit perf
+trajectory of both fast paths is visible in the Actions UI.
 
 Usage::
 
@@ -58,6 +61,45 @@ def render_table(result: dict) -> str:
             lines.append(
                 f"| {acc_mode} | {label} | " + " | ".join(cells) + " |"
             )
+    pipeline = render_pipeline_table(result)
+    if pipeline:
+        lines.extend(["", pipeline])
+    return "\n".join(lines)
+
+
+def render_pipeline_table(result: dict) -> str:
+    """Steady-state cycles-per-pairing per cross-batch pipeline depth."""
+    pipe = result.get("pipeline")
+    if not pipe:
+        return ""
+    depths = pipe.get("depths", (1, 2, 4))
+    depth_labels = [f"d{d}" for d in depths]
+    lines = [
+        f"### Cross-batch pipelining -- {result.get('curve', '?')} "
+        f"batch={pipe['batch']} (steady-state cycles/pairing, delta vs depth 1)",
+        "",
+        "| accumulators | cores | " + " | ".join(
+            "one-shot (d1)" if label == "d1" else f"depth {label[1:]}"
+            for label in depth_labels
+        ) + " |",
+        "|---|---|" + "---|" * len(depth_labels),
+    ]
+    for acc_mode, cores in pipe["modes"].items():
+        for core_label, cells in cores.items():
+            base = cells.get("d1", {}).get("steady_cycles_per_pairing", 0)
+            row = []
+            for label in depth_labels:
+                entry = cells.get(label)
+                if entry is None:
+                    row.append("-")
+                    continue
+                steady = entry["steady_cycles_per_pairing"]
+                if label == "d1" or not base:
+                    row.append(f"{steady:.0f}")
+                else:
+                    delta = 100.0 * (1.0 - steady / base)
+                    row.append(f"{steady:.0f} ({delta:+.1f}%)")
+            lines.append(f"| {acc_mode} | {core_label} | " + " | ".join(row) + " |")
     return "\n".join(lines)
 
 

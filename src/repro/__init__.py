@@ -64,7 +64,10 @@ Simulators
     ``FunctionalSimulator`` -- executes a compiled kernel on concrete values
     (bit-exact vs the software pairing).
     ``CycleAccurateSimulator`` -- deterministic single- and multi-core cycle
-    simulation of a compiled kernel.
+    simulation of a compiled kernel; ``run_pipelined`` additionally models
+    the continuously-fed accelerator (``PipelineStats``: fill/drain cycles
+    and steady-state cycles per batch with several batch instances in
+    flight).
 
 Serving
     ``VerificationService(curve, config=None)`` -- the asyncio verification
@@ -94,10 +97,10 @@ from repro.hw.presets import default_model, paper_hw1, paper_hw2
 from repro.pairing.ate import optimal_ate_pairing
 from repro.pairing.batch import multi_pairing, precompute_g2, split_batched_miller_loop
 from repro.service import ServiceConfig, ServiceProfile, VerificationService
-from repro.sim.cycle import CycleAccurateSimulator
+from repro.sim.cycle import CycleAccurateSimulator, PipelineStats
 from repro.sim.functional import FunctionalSimulator
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "get_curve",
@@ -123,6 +126,7 @@ __all__ = [
     "paper_hw2",
     "FunctionalSimulator",
     "CycleAccurateSimulator",
+    "PipelineStats",
     "VerificationService",
     "ServiceConfig",
     "ServiceProfile",

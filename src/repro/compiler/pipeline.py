@@ -22,7 +22,7 @@ from repro.compiler.codegen import (
 )
 from repro.compiler.store import StoreStats, active_store
 from repro.compiler.opt import OptStats, optimize
-from repro.compiler.regalloc import allocate_registers
+from repro.compiler.regalloc import allocate_registers, pipelined_register_demand
 from repro.compiler.schedule import (
     ScheduledProgram,
     affinity_schedule,
@@ -34,7 +34,13 @@ from repro.pairing.final_exp import validate_final_exp_mode
 from repro.hw.model import HardwareModel
 from repro.hw.presets import default_model
 from repro.ir.lowering import lower_module
-from repro.sim.cycle import CycleAccurateSimulator, CycleStats, MultiCoreStats
+from repro.sim.cycle import (
+    CycleAccurateSimulator,
+    CycleStats,
+    MultiCoreStats,
+    PipelineStats,
+    validate_pipeline_depth,
+)
 
 
 @dataclass
@@ -142,6 +148,16 @@ class MultiPairingCompileResult:
     #: Hard-part backend traced into the kernel ("generic" | "cyclotomic" |
     #: "compressed").
     final_exp_mode: str = "generic"
+    #: Cross-batch pipeline depth this kernel was scored at (1 = one-shot).
+    pipeline_depth: int = 1
+    #: The ``depth``-instance pipelined simulation
+    #: (:meth:`repro.sim.cycle.CycleAccurateSimulator.run_pipelined`); None
+    #: when the kernel was scored one-shot (``pipeline_depth=1``).
+    pipeline_stats: PipelineStats | None = None
+    #: Per-bank register demand with ``pipeline_depth`` renamed instances
+    #: resident (sizes the continuously-fed accelerator's data memory; equals
+    #: :attr:`registers_per_bank` at depth 1).
+    pipeline_registers_per_bank: dict = field(default_factory=dict)
     stage_seconds: dict = field(default_factory=dict)
 
     @property
@@ -156,6 +172,24 @@ class MultiPairingCompileResult:
     @property
     def cycles_per_pairing(self) -> float:
         return self.cycles / self.n_pairs
+
+    @property
+    def steady_batch_cycles(self) -> float:
+        """Steady-state cycles per batch instance on a continuously-fed accelerator.
+
+        With a pipelined score (``pipeline_depth > 1``) this is the sustained
+        completion-to-completion gap between in-flight instances; at depth 1
+        it degenerates to the one-shot batch latency, so consumers can rank
+        on it unconditionally.
+        """
+        if self.pipeline_stats is not None:
+            return self.pipeline_stats.steady_cycles_per_batch
+        return float(self.cycles)
+
+    @property
+    def steady_cycles_per_pairing(self) -> float:
+        """Steady-state amortised cost per pairing (the throughput figure)."""
+        return self.steady_batch_cycles / self.n_pairs
 
     @property
     def ipc(self) -> float:
@@ -174,7 +208,7 @@ class MultiPairingCompileResult:
         return sum(self.stage_seconds.values())
 
     def describe(self) -> dict:
-        return {
+        summary = {
             "curve": self.curve_name,
             "kernel": "multi_pairing",
             "n_pairs": self.n_pairs,
@@ -193,6 +227,11 @@ class MultiPairingCompileResult:
             "final_exp_mode": self.final_exp_mode,
             "compile_seconds": round(self.compile_seconds, 2),
         }
+        if self.pipeline_depth > 1:
+            summary["pipeline_depth"] = self.pipeline_depth
+            summary["steady_batch_cycles"] = round(self.steady_batch_cycles, 1)
+            summary["steady_cycles_per_pairing"] = round(self.steady_cycles_per_pairing, 1)
+        return summary
 
 
 class CompilerPipeline:
@@ -219,6 +258,7 @@ class CompilerPipeline:
         n_pairs: int | None = None,
         split_accumulators: bool = False,
         final_exp_mode: str = "generic",
+        pipeline_depth: int = 1,
     ):
         self.hw = hw
         self.variant_config = variant_config or VariantConfig.all_karatsuba()
@@ -234,6 +274,12 @@ class CompilerPipeline:
             )
         self.split_accumulators = bool(split_accumulators)
         self.final_exp_mode = validate_final_exp_mode(final_exp_mode)
+        self.pipeline_depth = validate_pipeline_depth(pipeline_depth)
+        if self.pipeline_depth > 1 and n_pairs is None:
+            raise CompilerError(
+                "pipeline_depth applies to batched kernels only (set n_pairs); "
+                "cross-batch pipelining replays batch instances, not single pairings"
+            )
 
     # -- individual stages -----------------------------------------------------------
     def _accumulator_groups(self, hw: HardwareModel) -> int | None:
@@ -301,6 +347,7 @@ class CompilerPipeline:
         simulator = CycleAccurateSimulator(record_trace=self.record_trace)
         cycle_stats = simulator.run(schedule)
         multicore_stats = None
+        pipeline_stats = None
         if n_pairs is not None:
             if hw.n_cores > 1:
                 multicore_stats = simulator.run_multicore(schedule, hw.n_cores)
@@ -310,6 +357,12 @@ class CompilerPipeline:
                 multicore_stats = MultiCoreStats.from_single_core(
                     cycle_stats,
                     dict.fromkeys(optimized_module.lane_histogram(), 0),
+                )
+            if self.pipeline_depth > 1:
+                # The continuously-fed score: ``depth`` renamed instances in
+                # flight (depth 1 would just repeat the multicore walk).
+                pipeline_stats = simulator.run_pipelined(
+                    schedule, hw.n_cores, self.pipeline_depth
                 )
         timings["cyclesim"] = time.perf_counter() - start
 
@@ -359,6 +412,11 @@ class CompilerPipeline:
                 n_pairs=n_pairs, multicore_stats=multicore_stats,
                 split_accumulators=self.split_accumulators,
                 accumulator_groups=groups if groups is not None else 1,
+                pipeline_depth=self.pipeline_depth,
+                pipeline_stats=pipeline_stats,
+                pipeline_registers_per_bank=pipelined_register_demand(
+                    allocation, self.pipeline_depth, hw.n_banks
+                ),
                 **common,
             )
         return CompileResult(baseline_cycle_stats=baseline_stats, **common)
@@ -569,6 +627,7 @@ def compile_multi_pairing(
     use_cache: bool = True,
     split_accumulators: bool = False,
     final_exp_mode: str = "generic",
+    pipeline_depth: int = 1,
 ) -> MultiPairingCompileResult:
     """Compile the batched pairing-product kernel ``Pi e(P_i, Q_i)`` for ``curve``.
 
@@ -614,6 +673,7 @@ def compile_multi_pairing(
     variant_config = variant_config or VariantConfig.all_karatsuba()
     hw_resolved = (hw or default_model(curve.params.p.bit_length())).validate()
     final_exp_mode = validate_final_exp_mode(final_exp_mode)
+    pipeline_depth = validate_pipeline_depth(pipeline_depth)
     key = CompileCache.make_key(
         curve.name,
         variant_config,
@@ -627,6 +687,7 @@ def compile_multi_pairing(
         use_affinity=use_affinity,
         do_assemble=do_assemble,
         final_exp_mode=final_exp_mode,
+        pipeline_depth=pipeline_depth,  # pipelined scores are distinct artefacts
     )
     pipeline = CompilerPipeline(
         hw=hw_resolved,
@@ -638,5 +699,6 @@ def compile_multi_pairing(
         n_pairs=n_pairs,
         split_accumulators=split_accumulators,
         final_exp_mode=final_exp_mode,
+        pipeline_depth=pipeline_depth,
     )
     return _cached_compile(key, use_cache, lambda: pipeline.compile(curve))

@@ -96,3 +96,26 @@ def allocate_registers(schedule: ScheduledProgram) -> RegisterAllocation:
         registers_per_bank=registers_per_bank,
         preloaded=preloaded,
     )
+
+
+def pipelined_register_demand(allocation: RegisterAllocation, depth: int, n_banks: int) -> dict:
+    """Per-bank register demand with ``depth`` renamed instances resident.
+
+    Each pipeline instance carries the full register footprint of one kernel
+    (its inputs are DMA'd in while the previous instance runs, so live ranges
+    do not shrink), with its banks rotated by the instance index exactly as
+    :func:`repro.compiler.bankalloc.rebank_for_instance` rotates the bank map
+    the simulator replays.  The result sizes the data memory a
+    continuously-fed accelerator needs; at ``depth=1`` it is exactly
+    ``allocation.registers_per_bank``.
+    """
+    if isinstance(depth, bool) or not isinstance(depth, int) or depth < 1:
+        raise CompilerError(f"pipeline depth must be a positive integer, got {depth!r}")
+    n_banks = max(1, n_banks)
+    demand: dict = {}
+    for instance in range(depth):
+        offset = instance % n_banks
+        for bank, count in allocation.registers_per_bank.items():
+            target = (bank + offset) % n_banks
+            demand[target] = demand.get(target, 0) + count
+    return {bank: demand[bank] for bank in sorted(demand)}

@@ -65,6 +65,17 @@ class ScheduledProgram:
     def instruction_count(self) -> int:
         return sum(len(b) for b in self.bundles)
 
+    def flat_order(self) -> list:
+        """The scheduled issue order flattened to one list of value ids.
+
+        This is the canonical stream the multi-core and pipelined simulator
+        walks consume (bundle barriers dissolve into per-core in-order
+        streams), and the unit of replay for cross-batch pipelining: instance
+        ``k`` of a pipelined execution is this order with every value id
+        offset by ``k * len(module.instructions)``.
+        """
+        return [vid for bundle in self.bundles for vid in bundle]
+
     def planned_ipc(self) -> float:
         if not self.planned_cycles:
             return 0.0

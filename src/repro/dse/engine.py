@@ -66,6 +66,7 @@ from repro.curves.catalog import CURVE_SPECS
 from repro.dse.explorer import (
     _resolve_accumulator_policy,
     _resolve_final_exp_policy,
+    _resolve_pipeline_policy,
     evaluate_design_point,
     resolve_objective,
     validate_sweep_batch_size,
@@ -146,7 +147,7 @@ def _stats_delta(after: dict, before: dict) -> dict:
 
 def _evaluate_chunk(curve_name, chunk, n_cores, technology, do_assemble, batch_size=None,
                     split_accumulators="auto", final_exp_mode="cyclotomic",
-                    service_profile=None):
+                    service_profile=None, pipeline_depth=None):
     """Worker entry point: evaluate one chunk of (index, point) pairs.
 
     Runs in a separate process; the curve is rebuilt (or found pre-built when
@@ -163,7 +164,8 @@ def _evaluate_chunk(curve_name, chunk, n_cores, technology, do_assemble, batch_s
                                       batch_size=batch_size,
                                       split_accumulators=split_accumulators,
                                       final_exp_mode=final_exp_mode,
-                                      service_profile=service_profile))
+                                      service_profile=service_profile,
+                                      pipeline_depth=pipeline_depth))
         for index, point in chunk
     ]
     return evaluated, _stats_delta(compile_cache_stats(), before)
@@ -184,6 +186,7 @@ class ParallelExplorer:
         split_accumulators="auto",
         final_exp_mode="cyclotomic",
         service_profile=None,
+        pipeline_depth=None,
     ):
         self.curve = curve
         self.workers = default_workers() if workers is None else max(1, int(workers))
@@ -197,6 +200,12 @@ class ParallelExplorer:
         validate_sweep_batch_size(batch_size)
         _resolve_accumulator_policy(split_accumulators)
         _resolve_final_exp_policy(final_exp_mode)
+        _resolve_pipeline_policy(pipeline_depth)
+        if batch_size is None and pipeline_depth not in (None, 1):
+            raise ValueError(
+                "pipeline_depth applies to batched sweeps only (set batch_size); "
+                f"got pipeline_depth={pipeline_depth!r}"
+            )
         #: When set, rank points on the batched multi-pairing kernel of this
         #: batch size (cycles from the n_cores-core simulation) instead of the
         #: single-pairing kernel.
@@ -217,6 +226,12 @@ class ParallelExplorer:
         #: second of the modelled dynamic-batching service), enabling the
         #: ``service_throughput`` and ``service_p99`` ranking objectives.
         self.service_profile = service_profile
+        #: Cross-batch pipeline policy: ``None`` (env default / one-shot),
+        #: ``"auto"`` (score the depth ladder, keep the steady-state winner)
+        #: or an explicit depth; enables the ``steady_throughput`` objective.
+        #: Forwarded verbatim to every worker, so sharded sweeps score
+        #: identically to sequential ones.
+        self.pipeline_depth = pipeline_depth
         #: Metrics of the last sweep, in submission order (mirrors the points list).
         self.evaluated: list = []
         self.last_report: ExplorationReport | None = None
@@ -279,7 +294,8 @@ class ParallelExplorer:
                                   self.do_assemble, batch_size=self.batch_size,
                                   split_accumulators=self.split_accumulators,
                                   final_exp_mode=self.final_exp_mode,
-                                  service_profile=self.service_profile)
+                                  service_profile=self.service_profile,
+                                  pipeline_depth=self.pipeline_depth)
             for point in points
         ]
 
@@ -311,6 +327,7 @@ class ParallelExplorer:
                 [self.split_accumulators] * len(chunks),
                 [self.final_exp_mode] * len(chunks),
                 [self.service_profile] * len(chunks),
+                [self.pipeline_depth] * len(chunks),
             ):
                 for index, metrics in evaluated:
                     slots[index] = metrics

@@ -12,11 +12,12 @@ from dataclasses import dataclass
 
 from repro.compiler.pipeline import compile_multi_pairing, compile_pairing
 from repro.dse.space import DesignPoint
-from repro.errors import DSEError
+from repro.errors import DSEError, SimulationError
 from repro.pairing.final_exp import FINAL_EXP_MODES
 from repro.hw.area import estimate_area
 from repro.hw.technology import TECH_40NM, TechnologyNode
 from repro.hw.timing import frequency_mhz
+from repro.sim.cycle import default_pipeline_depth, validate_pipeline_depth
 
 
 @dataclass(frozen=True)
@@ -52,6 +53,17 @@ class DesignMetrics:
     cycles_per_pairing: float = 0.0
     accumulator_mode: str = "shared"
     final_exp_mode: str = "generic"
+    #: Cross-batch pipeline depth the point was scored at (1 = one-shot;
+    #: under the ``"auto"`` policy, the depth with the lowest steady-state
+    #: cycles per pairing).
+    pipeline_depth: int = 1
+    #: Steady-state amortised cycles per pairing of the continuously-fed
+    #: accelerator at :attr:`pipeline_depth` (equals ``cycles_per_pairing``
+    #: at depth 1).
+    steady_cycles_per_pairing: float = 0.0
+    #: Sustained pairings/sec at steady state (the ``"steady_throughput"``
+    #: objective ranks on this; equals ``throughput_ops`` at depth 1).
+    steady_throughput_ops: float = 0.0
     #: End-to-end service figures (populated only when the point was evaluated
     #: with a ``service_profile``): request latency percentiles in µs and the
     #: sustained verifications/sec of the modelled dynamic-batching service
@@ -78,6 +90,13 @@ class DesignMetrics:
             "cycles_per_pairing": round(self.cycles_per_pairing or self.cycles, 1),
             "accumulator_mode": self.accumulator_mode,
             "final_exp_mode": self.final_exp_mode,
+            "pipeline_depth": self.pipeline_depth,
+            "steady_cycles_per_pairing": round(
+                self.steady_cycles_per_pairing or self.cycles_per_pairing or self.cycles, 1
+            ),
+            "steady_throughput_ops": round(
+                self.steady_throughput_ops or self.throughput_ops, 1
+            ),
         }
         if self.service_vps:
             summary["service"] = {
@@ -101,6 +120,10 @@ OBJECTIVES = {
     "efficiency": lambda m: m.throughput_per_mm2,
     "service_throughput": lambda m: m.service_vps,
     "service_p99": lambda m: -m.service_p99_us,
+    # Steady-state pairings/sec of the continuously-fed accelerator; falls
+    # back to the one-shot throughput for points scored without a pipeline
+    # (depth 1 leaves the figures equal by construction).
+    "steady_throughput": lambda m: m.steady_throughput_ops or m.throughput_ops,
 }
 
 
@@ -151,6 +174,32 @@ def _resolve_final_exp_policy(final_exp_mode) -> tuple:
     )
 
 
+#: Depths the ``pipeline_depth="auto"`` policy scores (the steady-state
+#: figure converges quickly with depth, so a shallow ladder suffices; the
+#: winner is the lowest depth achieving the best steady cycles-per-pairing).
+AUTO_PIPELINE_DEPTHS = (1, 2, 4)
+
+
+def _resolve_pipeline_policy(pipeline_depth) -> tuple:
+    """Normalise the ``pipeline_depth`` knob into the tuple of depths to score.
+
+    ``None`` defers to the ``FINESSE_PIPELINE_DEPTH`` environment default
+    (depth 1 -- the classic one-shot score -- when unset), ``"auto"`` scores
+    the :data:`AUTO_PIPELINE_DEPTHS` ladder and lets the steady-state ranking
+    pick, and an explicit integer scores just that depth.  Bools, floats and
+    non-positive values raise ``ValueError`` at entry, mirroring the other
+    evaluation knobs.
+    """
+    if pipeline_depth is None:
+        return (default_pipeline_depth(),)
+    if pipeline_depth == "auto":
+        return AUTO_PIPELINE_DEPTHS
+    try:
+        return (validate_pipeline_depth(pipeline_depth),)
+    except SimulationError as exc:
+        raise ValueError(str(exc)) from exc
+
+
 def _resolve_accumulator_policy(split_accumulators) -> str:
     """Normalise the policy knob: ``"auto"`` / ``"shared"`` / ``"split"``.
 
@@ -170,7 +219,8 @@ def _resolve_accumulator_policy(split_accumulators) -> str:
 
 
 def _service_level_metrics(curve, point, n_cores, freq, profile, fe_mode,
-                           accumulator_mode, do_assemble) -> dict:
+                           accumulator_mode, do_assemble,
+                           pipeline_depth: int = 1) -> dict:
     """End-to-end service figures of one design under a traffic profile.
 
     The design point's batched kernel is compiled at one-request and
@@ -183,18 +233,28 @@ def _service_level_metrics(curve, point, n_cores, freq, profile, fe_mode,
     latencies feed the deterministic virtual-time replay of the dynamic
     batcher (:func:`repro.service.simulate.simulate_batch_queue`) against the
     profile's seeded arrival trace.
+
+    Service times come from the *steady-state* cycles per batch of the
+    continuously-fed accelerator at ``pipeline_depth`` (the profile's own
+    ``pipeline_depth`` field overrides the scoring depth when set): a service
+    keeps the accelerator fed back-to-back, so the sustained
+    completion-to-completion gap -- not the one-shot fill-included latency --
+    is the time each flushed batch occupies the device.  At depth 1 the two
+    figures coincide and the model reduces to the classic one.
     """
     from repro.service.simulate import arrival_times, simulate_batch_queue
 
     split = accumulator_mode == "split" and n_cores > 1
     hw_cores = point.hw.with_cores(n_cores)
+    depth = profile.pipeline_depth or pipeline_depth
 
-    def batch_cycles(n_requests: int) -> int:
+    def batch_cycles(n_requests: int) -> float:
         return compile_multi_pairing(
             curve, profile.pairs_per_request * n_requests, hw=hw_cores,
             variant_config=point.variant_config, do_assemble=do_assemble,
             split_accumulators=split, final_exp_mode=fe_mode,
-        ).cycles
+            pipeline_depth=depth,
+        ).steady_batch_cycles
 
     one = batch_cycles(1)
     if profile.max_batch == 1:
@@ -233,6 +293,7 @@ def evaluate_design_point(
     split_accumulators="auto",
     final_exp_mode="cyclotomic",
     service_profile=None,
+    pipeline_depth=None,
 ) -> DesignMetrics:
     """Compile + simulate + price one design point.
 
@@ -264,10 +325,30 @@ def evaluate_design_point(
     percentiles, sustained verifications/sec, rejections) are populated so
     the ``"service_throughput"`` / ``"service_p99"`` objectives can rank
     designs by end-to-end serving behaviour instead of raw kernel cycles.
+    The service-time model runs at the point's scored pipeline depth (or the
+    profile's own ``pipeline_depth`` override), so the percentiles reflect a
+    continuously-fed accelerator.
+
+    ``pipeline_depth`` scores the batched kernel as a *continuously-fed*
+    accelerator keeping that many batch instances in flight
+    (:meth:`repro.sim.cycle.CycleAccurateSimulator.run_pipelined`): an
+    integer forces one depth, ``"auto"`` scores the
+    :data:`AUTO_PIPELINE_DEPTHS` ladder and records whichever depth minimises
+    the steady-state cycles per pairing, and ``None`` (the default) defers to
+    the ``FINESSE_PIPELINE_DEPTH`` environment default (depth 1 when unset --
+    the classic one-shot score).  The chosen depth and its steady-state
+    figures land in :attr:`DesignMetrics.pipeline_depth`,
+    :attr:`DesignMetrics.steady_cycles_per_pairing` and
+    :attr:`DesignMetrics.steady_throughput_ops` (the ``"steady_throughput"``
+    objective).  The one-shot figures (``cycles``, ``latency_us``,
+    ``throughput_ops``) always describe the depth-1 kernel, so pipelined and
+    classic rankings stay comparable.
 
     Degenerate inputs fail loudly at entry: a non-positive or non-integral
     ``batch_size`` or ``n_cores`` raises ``ValueError`` instead of compiling a
-    nonsense kernel or reporting a nonsense throughput.
+    nonsense kernel or reporting a nonsense throughput, and a pipeline depth
+    other than 1 without a ``batch_size`` is refused (cross-batch pipelining
+    replays *batch* instances).
     """
     if isinstance(n_cores, bool) or not isinstance(n_cores, int) or n_cores < 1:
         raise ValueError(
@@ -278,6 +359,12 @@ def evaluate_design_point(
     validate_sweep_batch_size(batch_size)
     policy = _resolve_accumulator_policy(split_accumulators)
     fe_modes = _resolve_final_exp_policy(final_exp_mode)
+    if batch_size is None and pipeline_depth not in (None, 1):
+        raise ValueError(
+            "pipeline_depth applies to batched evaluations only (set batch_size); "
+            f"got pipeline_depth={pipeline_depth!r}"
+        )
+    depths = _resolve_pipeline_policy(pipeline_depth)
     freq = frequency_mhz(point.hw.word_width, point.hw.long_latency, technology)
     #: Deterministic tie-breaks: fewest cycles first, then the simpler shared
     #: kernel, then the declaration order of FINAL_EXP_MODES.
@@ -311,6 +398,26 @@ def evaluate_design_point(
         # pairings per second of one such multi-core accelerator.
         throughput = batch_size * 1e6 / latency_us
         cycles_per_pairing = result.cycles_per_pairing
+        # Depth ladder: the winning (accumulator, final-exp) kernel is
+        # re-scored as a continuously-fed pipeline at each candidate depth;
+        # the depth with the lowest steady-state cycles per pairing wins
+        # (ties to the shallowest depth -- less resident state for free).
+        scored = {}
+        for depth in depths:
+            if depth == 1:
+                scored[1] = result
+            else:
+                scored[depth] = compile_multi_pairing(
+                    curve, batch_size, hw=hw_cores,
+                    variant_config=point.variant_config, do_assemble=do_assemble,
+                    split_accumulators=accumulator_mode == "split",
+                    final_exp_mode=fe_winner, pipeline_depth=depth,
+                )
+        depth_winner = min(
+            scored, key=lambda depth: (scored[depth].steady_cycles_per_pairing, depth)
+        )
+        steady_cycles_per_pairing = scored[depth_winner].steady_cycles_per_pairing
+        steady_throughput = freq * 1e6 / steady_cycles_per_pairing
     else:
         candidates = {
             fe_mode: compile_pairing(
@@ -327,13 +434,18 @@ def evaluate_design_point(
         latency_us = result.cycles / freq
         throughput = n_cores * 1e6 / latency_us
         cycles_per_pairing = float(result.cycles)
+        # No batch to pipeline: the steady-state figures degenerate to the
+        # one-shot ones at depth 1.
+        depth_winner = 1
+        steady_cycles_per_pairing = cycles_per_pairing
+        steady_throughput = throughput
     area = estimate_area(point.hw, result.imem_bits, result.total_registers,
                          n_cores=n_cores, technology=technology)
     service_fields = {}
     if service_profile is not None:
         service_fields = _service_level_metrics(
             curve, point, n_cores, freq, service_profile, fe_winner,
-            accumulator_mode, do_assemble)
+            accumulator_mode, do_assemble, pipeline_depth=depth_winner)
     return DesignMetrics(
         label=point.display_label,
         curve=curve.name,
@@ -350,6 +462,9 @@ def evaluate_design_point(
         cycles_per_pairing=cycles_per_pairing,
         accumulator_mode=accumulator_mode,
         final_exp_mode=fe_winner,
+        pipeline_depth=depth_winner,
+        steady_cycles_per_pairing=steady_cycles_per_pairing,
+        steady_throughput_ops=steady_throughput,
         **service_fields,
     )
 

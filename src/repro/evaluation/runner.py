@@ -16,6 +16,12 @@ is set (useful for timing genuinely cold compiles).
 ``montgomery`` | ``gmpy2`` | ``fast``) for the whole run -- exported as
 ``FINESSE_FP_BACKEND`` so DSE worker processes inherit it.  Values are
 identical across backends; only wall-clock time changes.
+
+``--pipeline-depth N`` pins the cross-batch pipeline depth for the whole run
+-- exported as ``FINESSE_PIPELINE_DEPTH`` so DSE worker processes inherit it
+(the default every ``pipeline_depth=None`` evaluation resolves to).  ``N``
+must be a positive integer; bools, floats and zero are rejected at the flag,
+mirroring ``validate_core_count``.
 """
 
 from __future__ import annotations
@@ -27,8 +33,10 @@ import time
 
 from repro.compiler.pipeline import compile_cache_stats
 from repro.compiler.store import CACHE_DIR_ENV, active_store, configure_store
+from repro.errors import SimulationError
 from repro.fields.backends import BACKEND_ENV, configure_fp_backend
 from repro.dse.engine import WORKERS_ENV, worker_cache_stats
+from repro.sim.cycle import PIPELINE_DEPTH_ENV, validate_pipeline_depth
 from repro.evaluation import (
     batch_verify,
     fig2,
@@ -139,6 +147,18 @@ def main(argv=None) -> int:
             backend = args.pop(0)
             os.environ[BACKEND_ENV] = backend
             configure_fp_backend(backend)
+        elif arg == "--pipeline-depth":
+            # Exported so DSE worker processes inherit the same depth default
+            # as this process.  Validated here: a bad depth should fail the
+            # flag, not surface later inside a worker as a SimulationError.
+            raw = args.pop(0)
+            try:
+                depth = int(raw)
+            except ValueError as exc:
+                raise SimulationError(
+                    f"--pipeline-depth must be an integer, got {raw!r}"
+                ) from exc
+            os.environ[PIPELINE_DEPTH_ENV] = str(validate_pipeline_depth(depth))
         else:
             names = (names or []) + [arg]
     results = run_all(scale=scale, names=names)

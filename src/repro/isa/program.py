@@ -73,6 +73,20 @@ class AssembledProgram:
         """Size of the register banks in bits for a given field width."""
         return self.total_registers * word_width
 
+    def pipelined_data_memory_bits(self, word_width: int, depth: int = 1) -> int:
+        """Register-bank bits with ``depth`` pipelined kernel instances resident.
+
+        Cross-batch pipelining renames each in-flight instance into its own
+        copy of the register file (banks rotated, ids offset), so the data
+        memory scales linearly with the depth; ``depth=1`` is exactly
+        :meth:`data_memory_bits`.
+        """
+        if isinstance(depth, bool) or not isinstance(depth, int):
+            raise ISAError(f"pipeline depth must be an integer, got {depth!r}")
+        if depth < 1:
+            raise ISAError(f"pipeline depth must be positive, got {depth}")
+        return self.data_memory_bits(word_width) * depth
+
     # -- encodings -------------------------------------------------------------------
     def encoded_words(self) -> list:
         """Flat list of encoded instruction words (bundles padded with NOPs)."""

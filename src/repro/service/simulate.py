@@ -74,6 +74,14 @@ class ServiceProfile:
     ``pairs_per_request`` is the pairing-product width of one request (3 for
     the Groth16 shape, 2 for BLS); the remaining knobs mirror
     :class:`repro.service.config.ServiceConfig`.
+
+    ``pipeline_depth`` pins the cross-batch pipeline depth of the modelled
+    accelerator: per-batch service times then come from the steady-state
+    cycles of :meth:`repro.sim.cycle.CycleAccurateSimulator.run_pipelined` at
+    that depth (a continuously-fed device's sustained batch-to-batch gap)
+    instead of the one-shot batch latency.  ``None`` -- the default --
+    inherits whatever depth the design evaluation scored the point at, so
+    service figures and kernel figures always describe the same machine.
     """
 
     rate_rps: float
@@ -84,6 +92,7 @@ class ServiceProfile:
     n_requests: int = 256
     arrival: str = "poisson"
     seed: int = 1
+    pipeline_depth: int | None = None
 
     def __post_init__(self):
         if self.rate_rps <= 0:
@@ -92,6 +101,11 @@ class ServiceProfile:
             value = getattr(self, name)
             if isinstance(value, bool) or not isinstance(value, int) or value < 1:
                 raise ServiceError(f"{name} must be a positive integer, got {value!r}")
+        if self.pipeline_depth is not None:
+            depth = self.pipeline_depth
+            if isinstance(depth, bool) or not isinstance(depth, int) or depth < 1:
+                raise ServiceError(
+                    f"pipeline_depth must be a positive integer or None, got {depth!r}")
         if self.deadline_us < 0:
             raise ServiceError(
                 f"deadline_us must be non-negative, got {self.deadline_us!r}")

@@ -2,12 +2,16 @@
 
 from repro.sim.functional import FunctionalSimulator
 from repro.sim.cycle import (
+    PIPELINE_DEPTH_ENV,
     CycleAccurateSimulator,
     CycleStats,
     MultiCoreStats,
+    PipelineStats,
     assign_lanes_to_cores,
     assign_split_lanes_to_cores,
+    default_pipeline_depth,
     validate_core_count,
+    validate_pipeline_depth,
 )
 from repro.sim.trace import IssueTrace
 
@@ -16,8 +20,12 @@ __all__ = [
     "CycleAccurateSimulator",
     "CycleStats",
     "MultiCoreStats",
+    "PipelineStats",
+    "PIPELINE_DEPTH_ENV",
     "assign_lanes_to_cores",
     "assign_split_lanes_to_cores",
+    "default_pipeline_depth",
     "validate_core_count",
+    "validate_pipeline_depth",
     "IssueTrace",
 ]

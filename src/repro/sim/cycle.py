@@ -32,16 +32,39 @@ chain rides the shared lane on core 0; in the split mode
 complete accumulator *group* -- its pairs' lines plus its own chain -- and the
 shared lane holds only the cross-group merge and the final exponentiation, so
 the cores run with no cross-core serialisation until the merge.
+
+Cross-batch pipelined execution
+-------------------------------
+:meth:`CycleAccurateSimulator.run_pipelined` models the *continuously-fed*
+accelerator: ``depth`` renamed instances of the same scheduled batch kernel
+are kept in flight at once.  Instance ``k`` is an instance-tagged replay of
+the scheduled program -- value ids offset by ``k * n_instructions`` and
+register banks rotated by ``k`` (:func:`repro.compiler.bankalloc.rebank_for_instance`)
+-- appended to the same per-core in-order streams, so the cores left idle by
+instance ``k``'s serial tail (the final exponentiation on the shared lane of
+core 0) immediately start instance ``k+1``'s Miller lanes.  The resulting
+:class:`PipelineStats` reports fill/drain cycles and the *steady-state* cycles
+per batch instance -- the sustained-throughput figure the DSE and service
+layers rank on -- and ``depth=1`` is bit-identical to :meth:`run_multicore`
+by construction (both walks are the same stream engine).
 """
 
 from __future__ import annotations
 
+import os
+from bisect import bisect_left
 from dataclasses import dataclass, field
 
+from repro.compiler.bankalloc import rebank_for_instance
 from repro.compiler.schedule import ScheduledProgram, unit_of
 from repro.errors import SimulationError
 from repro.hw.model import HardwareModel
 from repro.sim.trace import BUBBLE, INV, LONG, SHORT, IssueTrace
+
+#: Environment variable providing the default cross-batch pipeline depth
+#: (read by :func:`default_pipeline_depth`; exported by the evaluation
+#: runner's ``--pipeline-depth`` flag so DSE worker processes inherit it).
+PIPELINE_DEPTH_ENV = "FINESSE_PIPELINE_DEPTH"
 
 
 @dataclass
@@ -132,11 +155,122 @@ class MultiCoreStats:
             "instructions": self.instructions,
             "ipc": round(self.ipc, 4),
             "stall_cycles": self.stall_cycles,
+            "data_stalls": self.data_stalls,
+            "writeback_stalls": self.writeback_stalls,
+            "structural_stalls": self.structural_stalls,
             "per_core_cycles": list(self.per_core_cycles),
             "per_core_instructions": list(self.per_core_instructions),
         }
         if self.phase_stats:
             summary["phases"] = {name: dict(stats) for name, stats in self.phase_stats.items()}
+        return summary
+
+
+@dataclass
+class PipelineStats:
+    """Output of one cross-batch pipelined simulation (:meth:`CycleAccurateSimulator.run_pipelined`).
+
+    ``depth`` batch instances of the same scheduled kernel were kept in flight;
+    the counters aggregate all of them.  The throughput figure consumers rank
+    on is :attr:`steady_cycles_per_batch`: the average completion-to-completion
+    gap between consecutive instances once the pipeline is past its fill
+    transient (``(finish of last instance - finish of first) / (depth - 1)``;
+    at ``depth=1`` it degenerates to the one-shot batch latency).
+    """
+
+    total_cycles: int
+    n_cores: int
+    depth: int
+    instructions: int
+    stall_cycles: int
+    data_stalls: int
+    writeback_stalls: int
+    structural_stalls: int
+    per_core_cycles: list              # finish cycle of each core's last result
+    per_core_instructions: list
+    lane_assignment: dict              # lane (None = shared) -> core index
+    #: Completion cycle of the first instance: the pipeline's fill time.
+    fill_cycles: int
+    #: Cycles spent after the last instance began issuing: the drain tail a
+    #: continuously-fed accelerator would overlap with further instances.
+    drain_cycles: int
+    #: Steady-state cycles per batch instance (sustained throughput figure).
+    steady_cycles_per_batch: float
+    #: Completion cycle of every instance, in instance order (strictly
+    #: increasing: each core replays the instances in order).
+    instance_cycles: list
+    #: First issue cycle of every instance, in instance order.
+    instance_start_cycles: list
+    #: Aggregate per-phase telemetry across all instances (same layout as
+    #: ``CycleStats.phase_stats``).
+    phase_stats: dict = field(default_factory=dict)
+    #: Per-phase core occupancy: for each phase, the issue activity of *every*
+    #: core (any phase, any instance) inside that phase's aggregate
+    #: [first_issue, last_finish) span -- ``core_issues`` per core,
+    #: ``busy_cores`` (cores with at least one issue in the span) and the
+    #: average issue slots used per span cycle.  This is where cross-batch
+    #: overlap shows up: at depth 1 a shared kernel's final exponentiation
+    #: keeps one core busy; at depth >= 2 the other cores run the next
+    #: instance's Miller lanes inside the same span.
+    phase_occupancy: dict = field(default_factory=dict)
+    #: ``(instance, phase) -> {"instructions", "first_issue", "last_finish",
+    #: "cycles"}`` spans, so overlap between instance ``i``'s final
+    #: exponentiation and instance ``i+1``'s Miller phase is directly
+    #: assertable.
+    instance_phase_spans: dict = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        if not self.total_cycles:
+            return 0.0
+        return self.instructions / self.total_cycles
+
+    def as_multicore(self) -> MultiCoreStats:
+        """The multi-core view of this walk (drops the pipeline telemetry).
+
+        At ``depth=1`` this is bit-identical to
+        :meth:`CycleAccurateSimulator.run_multicore` on the same schedule --
+        both walks are the same stream engine -- which is the degenerate-case
+        contract the property tests pin down.
+        """
+        return MultiCoreStats(
+            total_cycles=self.total_cycles,
+            n_cores=self.n_cores,
+            instructions=self.instructions,
+            stall_cycles=self.stall_cycles,
+            data_stalls=self.data_stalls,
+            writeback_stalls=self.writeback_stalls,
+            structural_stalls=self.structural_stalls,
+            per_core_cycles=list(self.per_core_cycles),
+            per_core_instructions=list(self.per_core_instructions),
+            lane_assignment=dict(self.lane_assignment),
+            phase_stats={name: dict(entry) for name, entry in self.phase_stats.items()},
+        )
+
+    def describe(self) -> dict:
+        summary = {
+            "cycles": self.total_cycles,
+            "n_cores": self.n_cores,
+            "depth": self.depth,
+            "instructions": self.instructions,
+            "ipc": round(self.ipc, 4),
+            "stall_cycles": self.stall_cycles,
+            "data_stalls": self.data_stalls,
+            "writeback_stalls": self.writeback_stalls,
+            "structural_stalls": self.structural_stalls,
+            "per_core_cycles": list(self.per_core_cycles),
+            "per_core_instructions": list(self.per_core_instructions),
+            "fill_cycles": self.fill_cycles,
+            "drain_cycles": self.drain_cycles,
+            "steady_cycles_per_batch": round(self.steady_cycles_per_batch, 1),
+            "instance_cycles": list(self.instance_cycles),
+        }
+        if self.phase_stats:
+            summary["phases"] = {name: dict(stats) for name, stats in self.phase_stats.items()}
+        if self.phase_occupancy:
+            summary["phase_occupancy"] = {
+                name: dict(entry) for name, entry in self.phase_occupancy.items()
+            }
         return summary
 
 
@@ -153,6 +287,37 @@ def validate_core_count(n_cores) -> int:
     if n_cores < 1:
         raise SimulationError(f"core count must be positive, got {n_cores}")
     return n_cores
+
+
+def validate_pipeline_depth(depth) -> int:
+    """Pipeline depths must be integral (bools rejected) and at least 1.
+
+    Mirrors :func:`validate_core_count`: ``True`` would silently simulate one
+    instance and a float would truncate, so both are treated as caller bugs
+    rather than coerced; zero/negative depths have no meaning.
+    """
+    if isinstance(depth, bool) or not isinstance(depth, int):
+        raise SimulationError(
+            f"pipeline depth must be an integer, got {depth!r} ({type(depth).__name__})"
+        )
+    if depth < 1:
+        raise SimulationError(f"pipeline depth must be positive, got {depth}")
+    return depth
+
+
+def default_pipeline_depth() -> int:
+    """Depth from ``FINESSE_PIPELINE_DEPTH`` (defaults to 1 = one-shot).
+
+    Mirrors :func:`repro.dse.engine.default_workers`: an unset or unparsable
+    value falls back to the classic one-shot evaluation, and values below 1
+    are clamped rather than raised (the environment is a default, not an API).
+    """
+    raw = os.environ.get(PIPELINE_DEPTH_ENV, "")
+    try:
+        depth = int(raw)
+    except ValueError:
+        return 1
+    return max(1, depth)
 
 
 def assign_lanes_to_cores(lane_costs: dict, n_cores: int) -> dict:
@@ -253,6 +418,251 @@ class _PhaseTracker:
         }
 
 
+class _CoreEngine:
+    """The in-order issue constraint model shared by every simulator walk.
+
+    One engine holds the hardware's itineraries and constraint switches;
+    :meth:`CycleAccurateSimulator.run` drives it in bundle-barrier mode (a
+    VLIW bundle issues atomically) while the stream walk behind
+    ``run_multicore`` / ``run_pipelined`` drives one logical copy per core in
+    greedy in-order mode.  Keeping the latency table, the write-back switch
+    and the unit-limit check here is what guarantees the two walks can never
+    drift apart on the constraint model itself.
+    """
+
+    __slots__ = ("hw", "latency", "enforce_wb")
+
+    def __init__(self, hw: HardwareModel):
+        self.hw = hw
+        self.latency = {
+            "long": hw.long_latency,
+            "short": hw.short_latency,
+            "inv": hw.inv_latency,
+        }
+        #: Write-back bank conflicts are only enforced without the FIFO
+        #: (the Figure 7 conflict).
+        self.enforce_wb = not hw.has_writeback_fifo
+
+    def fits_unit(self, units_used: dict, unit: str) -> bool:
+        """Would one more ``unit`` op this cycle exceed the per-kind limit?"""
+        return units_used[unit] + 1 <= self.hw.units_of_kind(unit)
+
+
+@dataclass
+class _StreamOutcome:
+    """Raw counters of one stream walk (shared by multicore and pipelined)."""
+
+    total_cycles: int
+    per_core_finish: list
+    per_core_issued: list
+    data_stalls: int
+    writeback_stalls: int
+    structural_stalls: int
+    lane_assignment: dict
+    phase_stats: dict
+    instance_finish: list              # completion cycle per instance
+    instance_first_issue: list         # first issue cycle per instance
+    instance_phase_spans: dict         # (instance, phase) -> span summary
+    core_issue_cycles: list | None     # per-core sorted issue cycles (events)
+
+    @property
+    def stall_cycles(self) -> int:
+        return self.data_stalls + self.writeback_stalls + self.structural_stalls
+
+    @property
+    def instructions(self) -> int:
+        return sum(self.per_core_issued)
+
+
+def _simulate_stream(
+    schedule: ScheduledProgram,
+    hw: HardwareModel,
+    n_cores: int,
+    depth: int,
+    collect_events: bool = False,
+) -> _StreamOutcome:
+    """The per-core in-order stream engine behind ``run_multicore``/``run_pipelined``.
+
+    ``depth`` renamed instances of the scheduled program are appended to the
+    same per-core in-order streams: instance ``k``'s value ids are offset by
+    ``k * n_instructions`` (data dependencies are intra-instance, so the
+    renaming is a pure replay), and its register banks are rotated by ``k``
+    (:func:`repro.compiler.bankalloc.rebank_for_instance`).  Every core is an
+    independent in-order pipeline with its own execution units and write-back
+    port constraints; operand readiness is global.  ``depth=1`` *is* the
+    multi-core walk -- same loop, same counters, bit for bit.
+
+    ``collect_events`` additionally records every issue cycle per core (used
+    by the pipelined walk's phase-occupancy telemetry; the hot multicore path
+    skips it).
+    """
+    engine = _CoreEngine(hw)
+    module = schedule.module
+    instructions = module.instructions
+    banks = schedule.banks
+    n_instr = len(instructions)
+    latency_cache = engine.latency
+    enforce_wb = engine.enforce_wb
+    phases = _PhaseTracker()
+    instance_phases = _PhaseTracker()
+
+    # Flatten the scheduled issue order, then split it per core while
+    # preserving relative order (each core stays in-order).
+    order = schedule.flat_order()
+    lane_costs: dict = {}
+    scheduled = [False] * n_instr
+    for vid in order:
+        scheduled[vid] = True
+        lane = instructions[vid].lane
+        lane_costs[lane] = lane_costs.get(lane, 0) + 1
+    # Split-accumulator kernels (module metadata set by the batched
+    # codegen and preserved through lowering/IROpt) balance whole
+    # accumulator groups with the merge tail excluded from the load
+    # model; shared kernels use the classic LPT with the accumulator
+    # chain pinned as core-0 load.
+    if getattr(module, "meta", None) and module.meta.get("split_accumulators"):
+        assignment = assign_split_lanes_to_cores(lane_costs, n_cores)
+    else:
+        assignment = assign_lanes_to_cores(lane_costs, n_cores)
+    core_streams: list = [[] for _ in range(n_cores)]
+    for vid in order:
+        core_streams[assignment.get(instructions[vid].lane, 0)].append(vid)
+    # Instance k replays the same per-core streams with renamed (offset)
+    # value ids and rotated banks; the lane -> core assignment is identical
+    # for every instance, so each core's queue is the concatenation of its
+    # stream across instances (in-order per instance, instances in order).
+    instance_banks = [rebank_for_instance(banks, k, hw.n_banks) for k in range(depth)]
+    queues: list = [
+        [k * n_instr + vid for k in range(depth) for vid in stream]
+        for stream in core_streams
+    ]
+
+    ready: dict = {}                  # gid -> cycle its result is available
+    writeback_busy = set()            # (core, bank, cycle)
+    events: list | None = [[] for _ in range(n_cores)] if collect_events else None
+
+    heads = [0] * n_cores
+    per_core_issued = [0] * n_cores
+    per_core_finish = [0] * n_cores
+    instance_first: list = [None] * depth
+    instance_finish = [0] * depth
+    data_stalls = 0
+    writeback_stalls = 0
+    structural_stalls = 0
+    cycle = 0
+    remaining = len(order) * depth
+
+    while remaining > 0:
+        issued_this_cycle = 0
+        stall_events = 0
+        next_wakeups = []
+        for core in range(n_cores):
+            queue = queues[core]
+            head = heads[core]
+            if head >= len(queue):
+                continue
+            units_used = {"long": 0, "short": 0, "inv": 0}
+            slots = 0
+            stalled = None
+            while head < len(queue) and slots < hw.issue_width:
+                gid = queue[head]
+                instance, vid = divmod(gid, n_instr)
+                instr = instructions[vid]
+                unit = unit_of(instr.op)
+                if not engine.fits_unit(units_used, unit):
+                    stalled = "structural"
+                    break
+                base = instance * n_instr
+                operand_wait = 0
+                unissued_producer = False
+                for arg in instr.args:
+                    arg_ready = ready.get(base + arg)
+                    if arg_ready is None:
+                        # Inputs/constants are preloaded (always ready; the
+                        # continuously-fed model DMAs the next instance's
+                        # inputs while the current one runs); a *scheduled*
+                        # producer still queued on another core has no
+                        # write-back time yet -- wait for it.
+                        if scheduled[arg]:
+                            unissued_producer = True
+                            break
+                    elif arg_ready > cycle:
+                        operand_wait = max(operand_wait, arg_ready)
+                if unissued_producer:
+                    stalled = "data"
+                    break
+                if operand_wait:
+                    stalled = "data"
+                    next_wakeups.append(operand_wait)
+                    break
+                finish = cycle + latency_cache[unit]
+                bank = instance_banks[instance][vid]
+                if enforce_wb and (core, bank, finish) in writeback_busy:
+                    stalled = "writeback"
+                    break
+                # Issue.
+                ready[gid] = finish
+                phases.record(instr.phase, cycle, finish)
+                if instr.phase is not None:
+                    instance_phases.record((instance, instr.phase), cycle, finish)
+                if enforce_wb:
+                    writeback_busy.add((core, bank, finish))
+                if events is not None:
+                    events[core].append(cycle)
+                first = instance_first[instance]
+                if first is None or cycle < first:
+                    instance_first[instance] = cycle
+                if finish > instance_finish[instance]:
+                    instance_finish[instance] = finish
+                units_used[unit] += 1
+                per_core_issued[core] += 1
+                per_core_finish[core] = max(per_core_finish[core], finish)
+                head += 1
+                slots += 1
+            if slots:
+                issued_this_cycle += slots
+            elif stalled == "data":
+                stall_events += 1
+                data_stalls += 1
+            elif stalled == "writeback":
+                stall_events += 1
+                writeback_stalls += 1
+            elif stalled == "structural":
+                stall_events += 1
+                structural_stalls += 1
+            heads[core] = head
+            remaining -= slots
+        if issued_this_cycle:
+            cycle += 1
+        elif next_wakeups and len(next_wakeups) == stall_events:
+            # Every stalled core is waiting on a known in-flight write-back
+            # (no write-back/structural/unissued-producer blocks, which can
+            # clear earlier): jump straight to the earliest one, charging
+            # each stalled core one data-stall bubble per skipped cycle so
+            # the counters equal a cycle-by-cycle walk.
+            target = min(next_wakeups)
+            data_stalls += (target - (cycle + 1)) * stall_events
+            cycle = target
+        else:
+            cycle += 1
+
+    total_cycles = max([cycle] + per_core_finish)
+    return _StreamOutcome(
+        total_cycles=total_cycles,
+        per_core_finish=per_core_finish,
+        per_core_issued=per_core_issued,
+        data_stalls=data_stalls,
+        writeback_stalls=writeback_stalls,
+        structural_stalls=structural_stalls,
+        lane_assignment=assignment,
+        phase_stats=phases.summary(),
+        instance_finish=instance_finish,
+        instance_first_issue=[first or 0 for first in instance_first],
+        instance_phase_spans=instance_phases.summary(),
+        core_issue_cycles=events,
+    )
+
+
 class CycleAccurateSimulator:
     """Simulates a :class:`~repro.compiler.schedule.ScheduledProgram` on its hardware model."""
 
@@ -266,18 +676,15 @@ class CycleAccurateSimulator:
         instructions = module.instructions
         banks = schedule.banks
 
-        latency_cache = {
-            "long": hw.long_latency,
-            "short": hw.short_latency,
-            "inv": hw.inv_latency,
-        }
+        engine = _CoreEngine(hw)
+        latency_cache = engine.latency
+        enforce_wb = engine.enforce_wb
         trace_codes = [] if self.record_trace else None
         code_of_unit = {"long": LONG, "short": SHORT, "inv": INV}
         phases = _PhaseTracker()
 
         ready = {}                  # vid -> cycle its result is available
         writeback_busy = {}         # (bank, cycle) -> producer vid
-        enforce_wb = not hw.has_writeback_fifo
 
         cycle = 0
         issued = 0
@@ -297,11 +704,11 @@ class CycleAccurateSimulator:
                 for vid in bundle:
                     instr = instructions[vid]
                     unit = unit_of(instr.op)
-                    units_used[unit] += 1
-                    if units_used[unit] > hw.units_of_kind(unit):
+                    if not engine.fits_unit(units_used, unit):
                         ok = False
                         stall_reason = "structural"
                         break
+                    units_used[unit] += 1
                     for arg in instr.args:
                         arg_ready = ready.get(arg, 0)
                         if arg_ready > cycle:
@@ -381,143 +788,90 @@ class CycleAccurateSimulator:
         if n_cores is None:
             n_cores = hw.n_cores
         n_cores = validate_core_count(n_cores)
-        module = schedule.module
-        instructions = module.instructions
-        banks = schedule.banks
-
-        latency_cache = {
-            "long": hw.long_latency,
-            "short": hw.short_latency,
-            "inv": hw.inv_latency,
-        }
-        phases = _PhaseTracker()
-
-        # Flatten the scheduled issue order, then split it per core while
-        # preserving relative order (each core stays in-order).
-        order = [vid for bundle in schedule.bundles for vid in bundle]
-        lane_costs: dict = {}
-        scheduled = [False] * len(instructions)
-        for vid in order:
-            scheduled[vid] = True
-            lane = instructions[vid].lane
-            lane_costs[lane] = lane_costs.get(lane, 0) + 1
-        # Split-accumulator kernels (module metadata set by the batched
-        # codegen and preserved through lowering/IROpt) balance whole
-        # accumulator groups with the merge tail excluded from the load
-        # model; shared kernels use the classic LPT with the accumulator
-        # chain pinned as core-0 load.
-        if getattr(module, "meta", None) and module.meta.get("split_accumulators"):
-            assignment = assign_split_lanes_to_cores(lane_costs, n_cores)
-        else:
-            assignment = assign_lanes_to_cores(lane_costs, n_cores)
-        queues: list = [[] for _ in range(n_cores)]
-        for vid in order:
-            queues[assignment.get(instructions[vid].lane, 0)].append(vid)
-
-        ready: dict = {}                  # vid -> cycle its result is available
-        writeback_busy = set()            # (core, bank, cycle)
-        enforce_wb = not hw.has_writeback_fifo
-
-        heads = [0] * n_cores
-        per_core_issued = [0] * n_cores
-        per_core_finish = [0] * n_cores
-        data_stalls = 0
-        writeback_stalls = 0
-        structural_stalls = 0
-        cycle = 0
-        remaining = len(order)
-
-        while remaining > 0:
-            issued_this_cycle = 0
-            stall_events = 0
-            next_wakeups = []
-            for core in range(n_cores):
-                queue = queues[core]
-                head = heads[core]
-                if head >= len(queue):
-                    continue
-                units_used = {"long": 0, "short": 0, "inv": 0}
-                slots = 0
-                stalled = None
-                while head < len(queue) and slots < hw.issue_width:
-                    vid = queue[head]
-                    instr = instructions[vid]
-                    unit = unit_of(instr.op)
-                    if units_used[unit] + 1 > hw.units_of_kind(unit):
-                        stalled = "structural"
-                        break
-                    operand_wait = 0
-                    unissued_producer = False
-                    for arg in instr.args:
-                        arg_ready = ready.get(arg)
-                        if arg_ready is None:
-                            # Inputs/constants are preloaded (always ready); a
-                            # *scheduled* producer still queued on another core
-                            # has no write-back time yet -- wait for it.
-                            if scheduled[arg]:
-                                unissued_producer = True
-                                break
-                        elif arg_ready > cycle:
-                            operand_wait = max(operand_wait, arg_ready)
-                    if unissued_producer:
-                        stalled = "data"
-                        break
-                    if operand_wait:
-                        stalled = "data"
-                        next_wakeups.append(operand_wait)
-                        break
-                    finish = cycle + latency_cache[unit]
-                    if enforce_wb and (core, banks[vid], finish) in writeback_busy:
-                        stalled = "writeback"
-                        break
-                    # Issue.
-                    ready[vid] = finish
-                    phases.record(instr.phase, cycle, finish)
-                    if enforce_wb:
-                        writeback_busy.add((core, banks[vid], finish))
-                    units_used[unit] += 1
-                    per_core_issued[core] += 1
-                    per_core_finish[core] = max(per_core_finish[core], finish)
-                    head += 1
-                    slots += 1
-                if slots:
-                    issued_this_cycle += slots
-                elif stalled == "data":
-                    stall_events += 1
-                    data_stalls += 1
-                elif stalled == "writeback":
-                    stall_events += 1
-                    writeback_stalls += 1
-                elif stalled == "structural":
-                    stall_events += 1
-                    structural_stalls += 1
-                heads[core] = head
-                remaining -= slots
-            if issued_this_cycle:
-                cycle += 1
-            elif next_wakeups and len(next_wakeups) == stall_events:
-                # Every stalled core is waiting on a known in-flight write-back
-                # (no write-back/structural/unissued-producer blocks, which can
-                # clear earlier): jump straight to the earliest one, charging
-                # each stalled core one data-stall bubble per skipped cycle so
-                # the counters equal a cycle-by-cycle walk.
-                target = min(next_wakeups)
-                data_stalls += (target - (cycle + 1)) * stall_events
-                cycle = target
-            else:
-                cycle += 1
-
-        total_cycles = max([cycle] + per_core_finish)
+        outcome = _simulate_stream(schedule, hw, n_cores, depth=1)
         return MultiCoreStats(
-            total_cycles=total_cycles,
+            total_cycles=outcome.total_cycles,
             n_cores=n_cores,
-            instructions=sum(per_core_issued),
-            stall_cycles=data_stalls + writeback_stalls + structural_stalls,
-            data_stalls=data_stalls,
-            writeback_stalls=writeback_stalls,
-            structural_stalls=structural_stalls,
-            per_core_cycles=per_core_finish,
-            per_core_instructions=per_core_issued,
-            lane_assignment=assignment,
-            phase_stats=phases.summary(),
+            instructions=outcome.instructions,
+            stall_cycles=outcome.stall_cycles,
+            data_stalls=outcome.data_stalls,
+            writeback_stalls=outcome.writeback_stalls,
+            structural_stalls=outcome.structural_stalls,
+            per_core_cycles=outcome.per_core_finish,
+            per_core_instructions=outcome.per_core_issued,
+            lane_assignment=outcome.lane_assignment,
+            phase_stats=outcome.phase_stats,
+        )
+
+    def run_pipelined(
+        self,
+        schedule: ScheduledProgram,
+        n_cores: int | None = None,
+        depth: int = 1,
+    ) -> PipelineStats:
+        """Simulate ``depth`` instances of a batched kernel kept in flight.
+
+        The continuously-fed accelerator model: instance ``k`` is a renamed
+        replay of the scheduled program (value ids offset, banks rotated by
+        :func:`repro.compiler.bankalloc.rebank_for_instance`) appended to the
+        same per-core in-order streams, so cores left idle by instance
+        ``k``'s serial final-exponentiation tail start instance ``k+1``'s
+        Miller lanes immediately.  ``depth=1`` is bit-identical to
+        :meth:`run_multicore` (same stream engine); deeper pipelines trade
+        fill/drain transients for a lower steady-state cycles-per-batch --
+        the figure :attr:`PipelineStats.steady_cycles_per_batch` reports and
+        the DSE ``"steady_throughput"`` objective ranks on.
+        """
+        hw = self.hw or schedule.hw
+        if n_cores is None:
+            n_cores = hw.n_cores
+        n_cores = validate_core_count(n_cores)
+        depth = validate_pipeline_depth(depth)
+        outcome = _simulate_stream(schedule, hw, n_cores, depth, collect_events=True)
+
+        fill = outcome.instance_finish[0]
+        if depth > 1:
+            steady = (outcome.instance_finish[-1] - fill) / (depth - 1)
+        else:
+            steady = float(outcome.total_cycles)
+        drain = outcome.total_cycles - outcome.instance_first_issue[-1]
+
+        occupancy: dict = {}
+        core_events = outcome.core_issue_cycles or []
+        for phase, entry in outcome.phase_stats.items():
+            first = entry["first_issue"]
+            last = entry["last_finish"]
+            core_issues = [
+                bisect_left(cycles, last) - bisect_left(cycles, first)
+                for cycles in core_events
+            ]
+            span = max(1, last - first)
+            occupancy[phase] = {
+                "first_issue": first,
+                "last_finish": last,
+                "core_issues": core_issues,
+                "busy_cores": sum(1 for count in core_issues if count),
+                "issue_slots_per_cycle": round(sum(core_issues) / span, 4),
+            }
+
+        return PipelineStats(
+            total_cycles=outcome.total_cycles,
+            n_cores=n_cores,
+            depth=depth,
+            instructions=outcome.instructions,
+            stall_cycles=outcome.stall_cycles,
+            data_stalls=outcome.data_stalls,
+            writeback_stalls=outcome.writeback_stalls,
+            structural_stalls=outcome.structural_stalls,
+            per_core_cycles=outcome.per_core_finish,
+            per_core_instructions=outcome.per_core_issued,
+            lane_assignment=outcome.lane_assignment,
+            fill_cycles=fill,
+            drain_cycles=drain,
+            steady_cycles_per_batch=steady,
+            instance_cycles=outcome.instance_finish,
+            instance_start_cycles=outcome.instance_first_issue,
+            phase_stats=outcome.phase_stats,
+            phase_occupancy=occupancy,
+            instance_phase_spans=outcome.instance_phase_spans,
         )

@@ -1,0 +1,318 @@
+"""Cross-batch pipelined execution: the continuously-fed accelerator model.
+
+Covers the tentpole contracts of ``run_pipelined``:
+
+* ``depth=1`` reproduces ``run_multicore`` bit for bit -- cycles, every stall
+  counter, per-core figures and ``phase_stats`` -- across shared/split
+  kernels, batch sizes and all catalog toy curves (both walks are the same
+  stream engine, so this pins the refactor);
+* pipelined results are deterministic: re-simulating the same schedule yields
+  identical statistics, for any depth;
+* at depth >= 2 on the 4-core toy-BN batch-8 kernel the steady-state cycles
+  per pairing drop strictly below the one-shot figure, and the per-phase
+  occupancy / per-instance phase spans show instance ``i+1``'s Miller lanes
+  overlapping instance ``i``'s final exponentiation;
+* the compile layer threads ``pipeline_depth`` end to end: distinct cache
+  digests per depth, ``steady_*`` figures on the result, pipelined register
+  demand and data-memory sizing, loud failures on bad depths.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler.bankalloc import rebank_for_instance
+from repro.compiler.pipeline import CompilerPipeline, compile_multi_pairing
+from repro.compiler.regalloc import pipelined_register_demand
+from repro.errors import CompilerError, ISAError, SimulationError
+from repro.sim.cycle import (
+    PIPELINE_DEPTH_ENV,
+    CycleAccurateSimulator,
+    MultiCoreStats,
+    PipelineStats,
+    default_pipeline_depth,
+    validate_pipeline_depth,
+)
+
+
+@pytest.fixture(scope="module")
+def simulator():
+    return CycleAccurateSimulator()
+
+
+@pytest.fixture(scope="module")
+def bn_batch8_4core(toy_bn):
+    """The acceptance-bar kernel: toy-BN batch 8 on the 4-core HW1 model."""
+    from repro.hw.presets import paper_hw1
+
+    hw = paper_hw1(toy_bn.params.p.bit_length()).with_cores(4)
+    return {
+        "shared": compile_multi_pairing(toy_bn, 8, hw=hw, do_assemble=False),
+        "split": compile_multi_pairing(toy_bn, 8, hw=hw, do_assemble=False,
+                                       split_accumulators=True),
+        "hw": hw,
+    }
+
+
+# ---------------------------------------------------------------------------
+# depth=1 bit-identity with run_multicore
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("batch", [2, 4])
+@pytest.mark.parametrize("split", [False, True])
+@pytest.mark.parametrize("n_cores", [1, 2, 4])
+def test_depth1_reproduces_multicore_toy_bn(simulator, toy_bn, batch, split, n_cores):
+    from repro.hw.presets import paper_hw1
+
+    hw = paper_hw1(toy_bn.params.p.bit_length()).with_cores(4)
+    compiled = compile_multi_pairing(toy_bn, batch, hw=hw, do_assemble=False,
+                                     split_accumulators=split)
+    multicore = simulator.run_multicore(compiled.schedule, n_cores)
+    pipelined = simulator.run_pipelined(compiled.schedule, n_cores, depth=1)
+    # Dataclass equality covers every field: cycles, the full stall
+    # breakdown, per-core figures, lane assignment and phase_stats.
+    assert pipelined.as_multicore() == multicore
+    assert pipelined.depth == 1
+    assert pipelined.fill_cycles == multicore.total_cycles
+    assert pipelined.steady_cycles_per_batch == float(multicore.total_cycles)
+    assert pipelined.instance_cycles == [multicore.total_cycles]
+
+
+def test_depth1_reproduces_multicore_all_curves(simulator, toy_curve):
+    compiled = compile_multi_pairing(toy_curve, 4, do_assemble=False)
+    for n_cores in (1, 3):
+        multicore = simulator.run_multicore(compiled.schedule, n_cores)
+        pipelined = simulator.run_pipelined(compiled.schedule, n_cores, depth=1)
+        assert pipelined.as_multicore() == multicore
+
+
+def test_pipelined_deterministic(simulator, bn_batch8_4core):
+    for mode in ("shared", "split"):
+        schedule = bn_batch8_4core[mode].schedule
+        for depth in (1, 2, 3):
+            first = simulator.run_pipelined(schedule, 4, depth)
+            again = simulator.run_pipelined(schedule, 4, depth)
+            assert first == again
+
+
+# ---------------------------------------------------------------------------
+# Steady-state improvement and phase overlap (the acceptance bar)
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("mode", ["shared", "split"])
+def test_steady_state_beats_one_shot(simulator, bn_batch8_4core, mode):
+    schedule = bn_batch8_4core[mode].schedule
+    one_shot = simulator.run_multicore(schedule, 4)
+    depth2 = simulator.run_pipelined(schedule, 4, 2)
+    depth4 = simulator.run_pipelined(schedule, 4, 4)
+    # Keeping a second batch instance in flight overlaps the final-exp tail
+    # with the next instance's Miller lanes: the sustained cycles/pairing
+    # must drop strictly below the one-shot figure, and never regress with
+    # more depth.
+    assert depth2.steady_cycles_per_batch < one_shot.total_cycles
+    assert depth4.steady_cycles_per_batch <= depth2.steady_cycles_per_batch
+    # Fill equals the first instance's one-shot completion; completions are
+    # strictly increasing; total covers the last completion.
+    assert depth2.fill_cycles == one_shot.total_cycles
+    assert depth2.instance_cycles[0] < depth2.instance_cycles[1]
+    assert depth2.total_cycles == depth2.instance_cycles[-1]
+    assert depth2.instructions == 2 * one_shot.instructions
+
+
+@pytest.mark.parametrize("mode", ["shared", "split"])
+def test_final_exp_overlap_visible(simulator, bn_batch8_4core, mode):
+    schedule = bn_batch8_4core[mode].schedule
+    depth2 = simulator.run_pipelined(schedule, 4, 2)
+    spans = depth2.instance_phase_spans
+    # Instance 1's Miller phase starts while instance 0's final exponentiation
+    # is still in flight -- the cross-batch overlap in one assertion.
+    assert spans[(1, "miller")]["first_issue"] < spans[(0, "final_exp")]["last_finish"]
+    # And in the occupancy telemetry: one-shot final exp keeps exactly one
+    # core busy; at depth 4 the other cores issue later instances' Miller
+    # work inside the final-exp span.
+    depth1 = simulator.run_pipelined(schedule, 4, 1)
+    depth4 = simulator.run_pipelined(schedule, 4, 4)
+    assert depth1.phase_occupancy["final_exp"]["busy_cores"] == 1
+    assert depth4.phase_occupancy["final_exp"]["busy_cores"] > 1
+
+
+# ---------------------------------------------------------------------------
+# Validation helpers and the describe() stall-breakdown regression
+# ---------------------------------------------------------------------------
+
+def test_validate_pipeline_depth():
+    assert validate_pipeline_depth(1) == 1
+    assert validate_pipeline_depth(7) == 7
+    for bad in (True, False, 0, -2, 2.0, "2", None):
+        with pytest.raises(SimulationError):
+            validate_pipeline_depth(bad)
+
+
+def test_default_pipeline_depth_env(monkeypatch):
+    monkeypatch.delenv(PIPELINE_DEPTH_ENV, raising=False)
+    assert default_pipeline_depth() == 1
+    monkeypatch.setenv(PIPELINE_DEPTH_ENV, "3")
+    assert default_pipeline_depth() == 3
+    monkeypatch.setenv(PIPELINE_DEPTH_ENV, "not-a-number")
+    assert default_pipeline_depth() == 1
+    monkeypatch.setenv(PIPELINE_DEPTH_ENV, "-4")
+    assert default_pipeline_depth() == 1
+
+
+def test_run_pipelined_rejects_bad_depth(simulator, bn_batch8_4core):
+    schedule = bn_batch8_4core["shared"].schedule
+    for bad in (True, 0, 2.5):
+        with pytest.raises(SimulationError):
+            simulator.run_pipelined(schedule, 4, bad)
+
+
+def test_multicore_describe_has_stall_breakdown(simulator, bn_batch8_4core):
+    """Regression: MultiCoreStats.describe() used to omit the stall breakdown."""
+    stats = simulator.run_multicore(bn_batch8_4core["shared"].schedule, 4)
+    summary = stats.describe()
+    for key in ("data_stalls", "writeback_stalls", "structural_stalls"):
+        assert summary[key] == getattr(stats, key)
+    assert summary["stall_cycles"] == (
+        summary["data_stalls"] + summary["writeback_stalls"]
+        + summary["structural_stalls"]
+    )
+
+
+def test_pipeline_describe_has_stall_breakdown_and_steady(simulator, bn_batch8_4core):
+    stats = simulator.run_pipelined(bn_batch8_4core["shared"].schedule, 4, 2)
+    summary = stats.describe()
+    for key in ("data_stalls", "writeback_stalls", "structural_stalls"):
+        assert summary[key] == getattr(stats, key)
+    assert summary["depth"] == 2
+    assert summary["fill_cycles"] == stats.fill_cycles
+    assert summary["drain_cycles"] == stats.drain_cycles
+    assert summary["steady_cycles_per_batch"] == round(stats.steady_cycles_per_batch, 1)
+    assert "phase_occupancy" in summary
+
+
+# ---------------------------------------------------------------------------
+# Instance renaming helpers
+# ---------------------------------------------------------------------------
+
+def test_rebank_for_instance():
+    banks = [0, 1, 2, 0, 1]
+    # Instance 0 (and any multiple of the bank count) is the identity -- the
+    # very same object, so the depth=1 path shares the one-shot bank map.
+    assert rebank_for_instance(banks, 0, 3) is banks
+    assert rebank_for_instance(banks, 3, 3) is banks
+    assert rebank_for_instance(banks, 1, 3) == [1, 2, 0, 1, 2]
+    assert rebank_for_instance(banks, 2, 3) == [2, 0, 1, 2, 0]
+    # Single-bank models rotate trivially: every instance keeps bank 0.
+    assert rebank_for_instance([0, 0], 5, 1) is not None
+    assert rebank_for_instance([0, 0], 1, 1) == [0, 0]
+
+
+def test_pipelined_register_demand():
+    from repro.compiler.regalloc import RegisterAllocation
+
+    allocation = RegisterAllocation(
+        register_of={}, registers_per_bank={0: 10, 1: 4}, preloaded={}
+    )
+    assert pipelined_register_demand(allocation, 1, 2) == {0: 10, 1: 4}
+    # Depth 2 on 2 banks: instance 1's banks rotate by one, so each bank
+    # holds one copy of each original bank's footprint.
+    assert pipelined_register_demand(allocation, 2, 2) == {0: 14, 1: 14}
+    assert pipelined_register_demand(allocation, 3, 2) == {0: 24, 1: 18}
+    for bad in (True, 0, 1.5):
+        with pytest.raises(CompilerError):
+            pipelined_register_demand(allocation, bad, 2)
+
+
+def test_pipelined_data_memory_bits(toy_bn):
+    compiled = compile_multi_pairing(toy_bn, 2)
+    program = compiled.program
+    base = program.data_memory_bits(64)
+    assert program.pipelined_data_memory_bits(64, 1) == base
+    assert program.pipelined_data_memory_bits(64, 3) == 3 * base
+    for bad in (True, 0, 2.0):
+        with pytest.raises(ISAError):
+            program.pipelined_data_memory_bits(64, bad)
+
+
+# ---------------------------------------------------------------------------
+# Compile-layer threading
+# ---------------------------------------------------------------------------
+
+def test_compile_pipeline_depth_end_to_end(toy_bn):
+    from repro.hw.presets import paper_hw1
+
+    hw = paper_hw1(toy_bn.params.p.bit_length()).with_cores(4)
+    one_shot = compile_multi_pairing(toy_bn, 8, hw=hw, do_assemble=False)
+    deep = compile_multi_pairing(toy_bn, 8, hw=hw, do_assemble=False, pipeline_depth=2)
+    # Distinct digests: the two scores never alias in the two-tier cache,
+    # while a repeated call is a pure cache hit.
+    assert compile_multi_pairing(toy_bn, 8, hw=hw, do_assemble=False,
+                                 pipeline_depth=2) is deep
+    assert deep is not one_shot
+    assert one_shot.pipeline_depth == 1 and one_shot.pipeline_stats is None
+    assert one_shot.steady_batch_cycles == float(one_shot.cycles)
+    assert isinstance(deep.pipeline_stats, PipelineStats)
+    assert deep.pipeline_depth == 2
+    assert deep.steady_batch_cycles == deep.pipeline_stats.steady_cycles_per_batch
+    assert deep.steady_cycles_per_pairing == deep.steady_batch_cycles / 8
+    assert deep.steady_cycles_per_pairing < one_shot.cycles_per_pairing
+    # The one-shot figures are depth-invariant (same schedule, same kernel).
+    assert deep.cycles == one_shot.cycles
+    summary = deep.describe()
+    assert summary["pipeline_depth"] == 2
+    assert summary["steady_cycles_per_pairing"] == round(deep.steady_cycles_per_pairing, 1)
+    assert "pipeline_depth" not in one_shot.describe()
+    # Pipelined register demand scales with the resident instances.
+    assert (sum(deep.pipeline_registers_per_bank.values())
+            == 2 * sum(one_shot.pipeline_registers_per_bank.values()))
+    assert one_shot.pipeline_registers_per_bank == one_shot.registers_per_bank
+
+
+def test_compiler_pipeline_rejects_depth_without_batch():
+    with pytest.raises(CompilerError):
+        CompilerPipeline(pipeline_depth=2)
+    with pytest.raises(SimulationError):
+        CompilerPipeline(n_pairs=4, pipeline_depth=0)
+
+
+def test_multicore_stats_unchanged_shape(simulator, bn_batch8_4core):
+    """The refactor must not change MultiCoreStats' public shape."""
+    stats = simulator.run_multicore(bn_batch8_4core["split"].schedule, 4)
+    assert isinstance(stats, MultiCoreStats)
+    assert stats.n_cores == 4
+    assert len(stats.per_core_cycles) == 4
+    assert sum(stats.per_core_instructions) == stats.instructions
+    assert stats.lane_assignment[None] == 0
+
+
+# ---------------------------------------------------------------------------
+# Experiment-layer pipeline table
+# ---------------------------------------------------------------------------
+
+def test_batch_verify_pipeline_table_structure():
+    from repro.evaluation import batch_verify
+
+    result = batch_verify.run("smoke")
+    pipe = result["pipeline"]
+    assert pipe["depths"] == list(batch_verify.PIPELINE_DEPTHS)
+    assert set(pipe["modes"]) == set(batch_verify.MODES)
+    for acc_mode, cells in pipe["modes"].items():
+        for n_cores in batch_verify.CORE_COUNTS:
+            per_depth = cells[f"c{n_cores}"]
+            for depth in batch_verify.PIPELINE_DEPTHS:
+                cell = per_depth[f"d{depth}"]
+                assert cell["cycles"] > 0
+                assert cell["fill_cycles"] > 0
+                assert cell["steady_cycles_per_pairing"] > 0
+    # Depth 1 mirrors the main table's one-shot cells.
+    rows = {row["batch"]: row for row in result["rows"]}
+    big = rows[pipe["batch"]]["modes"]
+    for acc_mode in batch_verify.MODES:
+        assert (pipe["modes"][acc_mode]["c4"]["d1"]["cycles"]
+                == big[acc_mode]["c4"]["cycles"])
+    # And the steady-state win is recorded where the bench asserts it.
+    for acc_mode in batch_verify.MODES:
+        cells = pipe["modes"][acc_mode]["c4"]
+        assert (cells["d2"]["steady_cycles_per_pairing"]
+                < cells["d1"]["steady_cycles_per_pairing"])
+    assert "Pipelined execution" in batch_verify.render(result)
