@@ -1,0 +1,57 @@
+"""Benchmark for the multi-objective Pareto sweep (exhaustive vs guided search).
+
+Saves ``benchmarks/results/pareto_sweep.json`` so the CI regression guard
+(``benchmarks/compare_bench.py``) watches the sweep like any other experiment:
+the per-frontier-row ``cycles`` leaves pin down frontier *membership* (a point
+falling off the frontier changes the guarded cells) and each strategy's
+``total_evaluated_cycles`` leaf pins down *which* points the strategy pushed
+through the full tool-chain, so a silently inflated or drifted promotion set
+fails CI.  Sweep wall-clock and evaluated-point counts are recorded alongside.
+
+The assertions are the guided-search acceptance bar: every guided strategy
+must recover the exhaustive Pareto frontier on the toy design space while
+evaluating at most half of the points.
+"""
+
+from repro.evaluation import pareto_sweep
+
+#: Ceiling on the fraction of the space a guided strategy may fully evaluate.
+MAX_GUIDED_FRACTION = 0.5
+
+
+def test_pareto_sweep(benchmark, save_result):
+    result = benchmark.pedantic(pareto_sweep.run, rounds=1, iterations=1)
+    save_result("pareto_sweep", result)
+
+    strategies = result["strategies"]
+    exhaustive = strategies["exhaustive"]
+    assert exhaustive["evaluated_points"] == exhaustive["total_points"] == result["points"]
+    assert exhaustive["frontier_size"] >= 2
+    exhaustive_labels = {row["label"] for row in exhaustive["frontier"]}
+
+    guided = {name: entry for name, entry in strategies.items() if name != "exhaustive"}
+    assert guided, "the sweep must compare at least one guided strategy"
+    for name, entry in guided.items():
+        # Budget bar: at most half the space through the full tool-chain.
+        fraction = entry["evaluated_points"] / entry["total_points"]
+        assert fraction <= MAX_GUIDED_FRACTION, (
+            f"{name} evaluated {entry['evaluated_points']}/{entry['total_points']} "
+            f"points ({fraction:.0%} > {MAX_GUIDED_FRACTION:.0%})"
+        )
+        # Fidelity bar: the guided frontier contains the exhaustive frontier.
+        labels = {row["label"] for row in entry["frontier"]}
+        assert entry["recovers_exhaustive"]
+        assert exhaustive_labels <= labels, (
+            f"{name} lost frontier points: {sorted(exhaustive_labels - labels)}"
+        )
+        assert entry["wall_s"] >= 0.0
+
+    # The power axes are populated and vary across the frontier, so
+    # power/energy/throughput_per_watt are genuinely rankable objectives.
+    for entry in strategies.values():
+        for row in entry["frontier"]:
+            assert row["power_mw"] > 0.0
+            assert row["energy_per_pairing_uj"] > 0.0
+            assert row["throughput_per_watt"] > 0.0
+    powers = {row["power_mw"] for row in exhaustive["frontier"]}
+    assert len(powers) > 1

@@ -12,9 +12,16 @@ figure.  The tables are printed to stdout and, when ``GITHUB_STEP_SUMMARY``
 (or ``--summary``) names a file, appended there so the per-commit perf
 trajectory of both fast paths is visible in the Actions UI.
 
+``--pareto [PATH]`` additionally (or instead) renders the multi-objective
+frontier table of ``benchmarks/results/pareto_sweep.json`` (written by the
+dse-sweep job's ``bench_dse.py``): one row per exhaustive-frontier point with
+its throughput/area/power figures, plus a per-strategy line showing how many
+full evaluations each guided search spent recovering that frontier.
+
 Usage::
 
     python benchmarks/fe_summary.py [--results PATH] [--summary PATH]
+        [--pareto [PATH]]
 """
 
 from __future__ import annotations
@@ -26,6 +33,7 @@ import sys
 from pathlib import Path
 
 DEFAULT_RESULTS = Path(__file__).parent / "results" / "batch_verify.json"
+DEFAULT_PARETO = Path(__file__).parent / "results" / "pareto_sweep.json"
 
 
 def render_table(result: dict) -> str:
@@ -103,20 +111,68 @@ def render_pipeline_table(result: dict) -> str:
     return "\n".join(lines)
 
 
+def render_pareto_table(result: dict) -> str:
+    """Exhaustive Pareto frontier plus the guided strategies' budget lines."""
+    strategies = result.get("strategies", {})
+    lines = [
+        f"### Multi-objective DSE -- {result.get('curve', '?')} "
+        f"[fp backend: {result.get('fp_backend', 'python')}] "
+        f"objectives {'+'.join(result.get('objectives', ()))} "
+        f"({result.get('points', '?')} design points)",
+        "",
+        "| strategy | evaluated | frontier | recovers exhaustive | wall |",
+        "|---|---|---|---|---|",
+    ]
+    for name, entry in strategies.items():
+        recovers = "yes" if entry.get("recovers_exhaustive") else "**NO**"
+        lines.append(
+            f"| {name} | {entry['evaluated_points']}/{entry['total_points']} "
+            f"({entry['evaluated_fraction']:.0%}) | {entry['frontier_size']} | "
+            f"{recovers} | {entry['wall_s']:.2f}s |"
+        )
+    frontier = strategies.get("exhaustive", {}).get("frontier", [])
+    if frontier:
+        lines.extend([
+            "",
+            "| frontier point | cycles | MHz | throughput (op/s) | area (mm^2) "
+            "| power (mW) | op/s/W |",
+            "|---|---|---|---|---|---|---|",
+        ])
+        for row in frontier:
+            lines.append(
+                f"| {row['label']} | {row['cycles']} | {row['frequency_mhz']:.1f} | "
+                f"{row['throughput_ops']:.1f} | {row['area_mm2']:.4f} | "
+                f"{row['power_mw']:.3f} | {row['throughput_per_watt']:.1f} |"
+            )
+    return "\n".join(lines)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--results", type=Path, default=DEFAULT_RESULTS,
                         help="batch_verify.json path")
+    parser.add_argument("--pareto", type=Path, nargs="?", const=DEFAULT_PARETO,
+                        default=None,
+                        help="also render the pareto_sweep.json frontier table "
+                             f"(default path when bare: {DEFAULT_PARETO})")
     parser.add_argument("--summary", type=Path, default=None,
                         help="markdown summary file (defaults to $GITHUB_STEP_SUMMARY)")
     args = parser.parse_args(argv)
 
-    if not args.results.exists():
+    tables = []
+    if args.results.exists():
+        tables.append(render_table(json.loads(args.results.read_text())))
+    else:
         print(f"fe_summary: no results at {args.results}; nothing to report")
+    if args.pareto is not None:
+        if args.pareto.exists():
+            tables.append(render_pareto_table(json.loads(args.pareto.read_text())))
+        else:
+            print(f"fe_summary: no pareto sweep at {args.pareto}; skipping table")
+    if not tables:
         return 0
-    result = json.loads(args.results.read_text())
-    table = render_table(result)
-    print(table)
+    output = "\n\n".join(tables)
+    print(output)
 
     summary_path = args.summary or (
         Path(os.environ["GITHUB_STEP_SUMMARY"])
@@ -124,7 +180,7 @@ def main(argv=None) -> int:
     )
     if summary_path is not None:
         with open(summary_path, "a", encoding="utf-8") as handle:
-            handle.write(table + "\n\n")
+            handle.write(output + "\n\n")
     return 0
 
 

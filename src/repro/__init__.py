@@ -60,6 +60,13 @@ Hardware models
     ``paper_hw1(bits)`` / ``paper_hw2(bits)`` -- the paper's two presets.
     ``VariantConfig`` -- per-operator algorithm-variant selection.
 
+Design-space exploration
+    ``list_objectives()`` -- registered ranking objectives with one-line
+    descriptions (``--objectives help`` on the evaluation runner prints it).
+    ``ParetoResult`` -- the frontier record returned by ``explore_pareto``
+    on ``repro.dse.ParallelExplorer`` / ``DesignSpaceExplorer``
+    (see ``docs/dse.md`` for objectives, strategies and budget semantics).
+
 Simulators
     ``FunctionalSimulator`` -- executes a compiled kernel on concrete values
     (bit-exact vs the software pairing).
@@ -91,6 +98,8 @@ from repro.fields.backends import (
     available_backends as available_fp_backends,
     configure_fp_backend,
 )
+from repro.dse.objectives import list_objectives
+from repro.dse.pareto import ParetoResult
 from repro.fields.variants import VariantConfig
 from repro.hw.model import HardwareModel
 from repro.hw.presets import default_model, paper_hw1, paper_hw2
@@ -100,7 +109,7 @@ from repro.service import ServiceConfig, ServiceProfile, VerificationService
 from repro.sim.cycle import CycleAccurateSimulator, PipelineStats
 from repro.sim.functional import FunctionalSimulator
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "get_curve",
@@ -121,6 +130,8 @@ __all__ = [
     "configure_fp_backend",
     "VariantConfig",
     "HardwareModel",
+    "list_objectives",
+    "ParetoResult",
     "default_model",
     "paper_hw1",
     "paper_hw2",

@@ -615,6 +615,51 @@ def compile_pairing(
     )
 
 
+def pairing_compile_digest(
+    curve,
+    hw: HardwareModel | None = None,
+    variant_config: VariantConfig | None = None,
+    optimize_ir: bool = True,
+    use_naf: bool = True,
+    use_affinity: bool = True,
+    do_assemble: bool = True,
+    include_baseline: bool = False,
+    record_trace: bool = False,
+    final_exp_mode: str = "generic",
+) -> str:
+    """Semantic cache digest of a :func:`compile_pairing` call, without compiling.
+
+    Exactly the key that call would look up, so callers (the cache-seeded
+    search of :mod:`repro.dse.search`) can ask "is this design point already
+    compiled?" before spending a full evaluation on it.
+    """
+    variant_config = variant_config or VariantConfig.all_karatsuba()
+    hw_resolved = (hw or default_model(curve.params.p.bit_length())).validate()
+    final_exp_mode = validate_final_exp_mode(final_exp_mode)
+    return CompileCache.make_key(
+        curve.name,
+        variant_config,
+        hw_resolved,
+        optimize_ir=optimize_ir,
+        use_naf=use_naf,
+        use_affinity=use_affinity,
+        do_assemble=do_assemble,
+        include_baseline=include_baseline,
+        record_trace=record_trace,
+        final_exp_mode=final_exp_mode,
+    )
+
+
+def is_pairing_compiled(curve, hw=None, variant_config=None, **flags) -> bool:
+    """True when the memory result tier already holds this pairing kernel.
+
+    A pure probe: no counters move, no compilation happens, and the disk tier
+    is deliberately not consulted (seeding heuristics want the cheap answer).
+    """
+    key = pairing_compile_digest(curve, hw=hw, variant_config=variant_config, **flags)
+    return _RESULT_CACHE.peek(key) is not None
+
+
 def compile_multi_pairing(
     curve,
     n_pairs: int,

@@ -61,16 +61,19 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
 
-from repro.compiler.pipeline import compile_cache_stats
+from repro.compiler.pipeline import compile_cache_stats, is_pairing_compiled
 from repro.curves.catalog import CURVE_SPECS
 from repro.dse.explorer import (
+    EMPTY_SPACE_MESSAGE,
     _resolve_accumulator_policy,
     _resolve_final_exp_policy,
     _resolve_pipeline_policy,
     evaluate_design_point,
     resolve_objective,
+    resolve_objectives,
     validate_sweep_batch_size,
 )
+from repro.dse.pareto import ParetoResult, pareto_result
 from repro.errors import DSEError
 from repro.hw.technology import TECH_40NM, TechnologyNode
 
@@ -355,46 +358,170 @@ class ParallelExplorer:
                     entry[counter] = entry.get(counter, 0) + counters.get(counter, 0)
         return merged
 
-    # -- public API --------------------------------------------------------------
-    def explore(self, points, objective="throughput") -> list:
-        """Evaluate every point; returns metrics sorted best-first by the objective.
+    def _evaluate_batch(self, points, worker_stats_acc):
+        """Evaluate one batch of points (parallel when possible).
 
-        ``self.evaluated`` retains the metrics in submission order (one entry per
-        design point) and ``self.last_report`` the sweep's bookkeeping.
+        The shared path under :meth:`explore` and :meth:`explore_pareto`:
+        returns ``(metrics, parallel, n_chunks, distinct)`` with metrics in
+        submission order, appending worker cache deltas to
+        ``worker_stats_acc`` and the process-lifetime totals.
         """
-        score = resolve_objective(objective)
-        points = list(points)
-        stats_before = compile_cache_stats()
         parallel_result = None
         if self.workers > 1 and len(points) > 1:
             parallel_result = self._evaluate_parallel(points)
         if parallel_result is None:
-            self.evaluated = self._evaluate_sequential(points)
-            chunks, worker_stats, parallel = [], [], False
-            distinct = len(self._dedup_points(points)[0])
-        else:
-            self.evaluated, chunks, worker_stats, distinct = parallel_result
-            parallel = True
-            for stats in worker_stats:
-                for name, counters in stats.items():
-                    entry = _WORKER_TOTALS.setdefault(name, dict.fromkeys(_COUNTERS, 0))
-                    for counter in _COUNTERS:
-                        entry[counter] += counters.get(counter, 0)
+            return (self._evaluate_sequential(points), False, 0,
+                    len(self._dedup_points(points)[0]))
+        slots, chunks, worker_stats, distinct = parallel_result
+        worker_stats_acc.extend(worker_stats)
+        for stats in worker_stats:
+            for name, counters in stats.items():
+                entry = _WORKER_TOTALS.setdefault(name, dict.fromkeys(_COUNTERS, 0))
+                for counter in _COUNTERS:
+                    entry[counter] += counters.get(counter, 0)
+        return slots, True, len(chunks), distinct
+
+    @staticmethod
+    def _canonical_distinct(points) -> list:
+        """Deduplicated points in a canonical, enumeration-order-free order.
+
+        The Pareto contract promises a bit-identical frontier for any input
+        permutation, so unlike :meth:`_dedup_points` (first occurrence wins)
+        the representative of duplicate identities is the one with the
+        smallest display label, and the result is sorted by (label, identity).
+        """
+        by_identity: dict = {}
+        for point in points:
+            identity = (point.variant_config.cache_key(), point.hw.cache_key())
+            current = by_identity.get(identity)
+            if current is None or point.display_label < current.display_label:
+                by_identity[identity] = point
+        return sorted(
+            by_identity.values(),
+            key=lambda p: (p.display_label,
+                           repr((p.variant_config.cache_key(), p.hw.cache_key()))),
+        )
+
+    # -- public API --------------------------------------------------------------
+    def explore(self, points, objective="throughput") -> list:
+        """Evaluate every point; returns metrics sorted best-first by the objective.
+
+        Equal-score points order stably by their label, so the ranked output
+        is deterministic even across tied designs.  ``self.evaluated`` retains
+        the metrics in submission order (one entry per design point) and
+        ``self.last_report`` the sweep's bookkeeping.
+        """
+        score = resolve_objective(objective)
+        points = list(points)
+        stats_before = compile_cache_stats()
+        worker_stats: list = []
+        self.evaluated, parallel, n_chunks, distinct = self._evaluate_batch(
+            points, worker_stats)
         local_delta = _stats_delta(compile_cache_stats(), stats_before)
         self.last_report = ExplorationReport(
             points=len(points),
             distinct_points=distinct,
             workers=self.workers,
-            chunks=len(chunks),
+            chunks=n_chunks,
             objective=objective if isinstance(objective, str) else getattr(
                 objective, "__name__", "custom"),
             parallel=parallel,
             cache_stats=self._merge_cache_stats(local_delta, worker_stats),
         )
-        return sorted(self.evaluated, key=score, reverse=True)
+        return sorted(self.evaluated, key=lambda m: (-score(m), m.label))
+
+    def explore_pareto(self, points, objectives=("throughput", "area"),
+                       strategy="exhaustive", budget=None) -> ParetoResult:
+        """Multi-objective sweep: extract the Pareto frontier of the space.
+
+        ``objectives`` names the axes (see :func:`repro.list_objectives`),
+        ``strategy`` picks how much of the space is pushed through the real
+        tool-chain (:mod:`repro.dse.search`: ``"exhaustive"``,
+        ``"successive_halving"``, ``"local"``) and ``budget`` caps the full
+        evaluations of the guided strategies (``None`` = half the space).
+
+        The returned :class:`~repro.dse.pareto.ParetoResult` is bit-identical
+        for any worker count and any input point order: the space is
+        deduplicated and canonically ordered before the strategy sees it, and
+        strategies themselves only order candidates by canonical keys.
+        ``self.evaluated`` retains the actually-evaluated metrics and
+        ``self.last_report`` the sweep's bookkeeping (``distinct_points`` is
+        the deduplicated space, ``points`` the raw input count).
+        """
+        from repro.dse.search import (
+            SearchContext,
+            default_budget,
+            resolve_strategy,
+            validate_budget,
+        )
+
+        scorers = resolve_objectives(objectives)
+        run = resolve_strategy(strategy)
+        budget = validate_budget(budget if budget is not None else default_budget())
+        points = list(points)
+        distinct = self._canonical_distinct(points)
+        strategy_name = strategy if isinstance(strategy, str) else getattr(
+            strategy, "__name__", "custom")
+        if not distinct:
+            result = pareto_result([], scorers, evaluated=0, total_points=0,
+                                   strategy=strategy_name)
+            self.evaluated = []
+            self.last_report = ExplorationReport(
+                points=0, workers=self.workers, chunks=0,
+                objective="+".join(result.objectives), parallel=False)
+            return result
+        stats_before = compile_cache_stats()
+        worker_stats: list = []
+        evaluated_metrics: list = []
+        ran_parallel = False
+        chunk_total = 0
+
+        def evaluate(indices):
+            nonlocal ran_parallel, chunk_total
+            batch = [distinct[i] for i in indices]
+            metrics, parallel, n_chunks, _ = self._evaluate_batch(batch, worker_stats)
+            ran_parallel = ran_parallel or parallel
+            chunk_total += n_chunks
+            evaluated_metrics.extend(metrics)
+            return metrics
+
+        def is_cached(index):
+            point = distinct[index]
+            if self.batch_size is not None:
+                return False
+            return any(
+                is_pairing_compiled(self.curve, hw=point.hw,
+                                    variant_config=point.variant_config,
+                                    do_assemble=self.do_assemble,
+                                    final_exp_mode=mode)
+                for mode in _resolve_final_exp_policy(self.final_exp_mode)
+            )
+
+        ctx = SearchContext(
+            curve=self.curve, points=distinct, scorers=scorers, budget=budget,
+            evaluate=evaluate, is_cached=is_cached,
+            n_cores=self.n_cores, technology=self.technology,
+        )
+        run(ctx)
+        local_delta = _stats_delta(compile_cache_stats(), stats_before)
+        result = pareto_result(
+            evaluated_metrics, scorers, evaluated=len(evaluated_metrics),
+            total_points=len(distinct), strategy=strategy_name,
+        )
+        self.evaluated = evaluated_metrics
+        self.last_report = ExplorationReport(
+            points=len(points),
+            distinct_points=len(distinct),
+            workers=self.workers,
+            chunks=chunk_total,
+            objective="+".join(result.objectives),
+            parallel=ran_parallel,
+            cache_stats=self._merge_cache_stats(local_delta, worker_stats),
+        )
+        return result
 
     def best(self, points, objective="throughput"):
         ranked = self.explore(points, objective)
         if not ranked:
-            raise DSEError("empty design space")
+            raise DSEError(EMPTY_SPACE_MESSAGE)
         return ranked[0]

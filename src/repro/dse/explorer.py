@@ -11,13 +11,24 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.compiler.pipeline import compile_multi_pairing, compile_pairing
+from repro.dse.objectives import (  # noqa: F401  (re-exported; see below)
+    OBJECTIVES,
+    list_objectives,
+    resolve_objective,
+    resolve_objectives,
+)
 from repro.dse.space import DesignPoint
 from repro.errors import DSEError, SimulationError
 from repro.pairing.final_exp import FINAL_EXP_MODES
 from repro.hw.area import estimate_area
+from repro.hw.power import estimate_power
 from repro.hw.technology import TECH_40NM, TechnologyNode
 from repro.hw.timing import frequency_mhz
 from repro.sim.cycle import default_pipeline_depth, validate_pipeline_depth
+
+# ``OBJECTIVES`` / ``resolve_objective`` historically lived in this module;
+# they now come from :mod:`repro.dse.objectives` (one registry shared by the
+# scalar and Pareto paths) and are re-exported here for compatibility.
 
 
 @dataclass(frozen=True)
@@ -73,6 +84,14 @@ class DesignMetrics:
     service_p99_us: float = 0.0
     service_vps: float = 0.0
     service_rejected: int = 0
+    #: Power figures from :mod:`repro.hw.power` (dynamic + leakage at the
+    #: sweep's technology node, with the dynamic part scaled by the scoring
+    #: kernel's issue-slot utilisation).  ``energy_per_pairing_uj`` amortises
+    #: the draw over the steady-state per-pairing time, and
+    #: ``throughput_per_watt`` is the rankable energy-efficiency axis.
+    power_mw: float = 0.0
+    energy_per_pairing_uj: float = 0.0
+    throughput_per_watt: float = 0.0
 
     def describe(self) -> dict:
         summary = {
@@ -97,6 +116,9 @@ class DesignMetrics:
             "steady_throughput_ops": round(
                 self.steady_throughput_ops or self.throughput_ops, 1
             ),
+            "power_mw": round(self.power_mw, 2),
+            "energy_per_pairing_uj": round(self.energy_per_pairing_uj, 3),
+            "throughput_per_watt": round(self.throughput_per_watt, 1),
         }
         if self.service_vps:
             summary["service"] = {
@@ -107,34 +129,6 @@ class DesignMetrics:
                 "rejected": self.service_rejected,
             }
         return summary
-
-
-#: Built-in optimisation objectives (all are "larger is better" after negation).
-#: The ``service_*`` objectives rank by the end-to-end serving figures and are
-#: only meaningful for sweeps evaluated with a ``service_profile`` (the fields
-#: stay 0 otherwise and the ranking degenerates to submission order).
-OBJECTIVES = {
-    "throughput": lambda m: m.throughput_ops,
-    "latency": lambda m: -m.latency_us,
-    "area": lambda m: -m.area_mm2,
-    "efficiency": lambda m: m.throughput_per_mm2,
-    "service_throughput": lambda m: m.service_vps,
-    "service_p99": lambda m: -m.service_p99_us,
-    # Steady-state pairings/sec of the continuously-fed accelerator; falls
-    # back to the one-shot throughput for points scored without a pipeline
-    # (depth 1 leaves the figures equal by construction).
-    "steady_throughput": lambda m: m.steady_throughput_ops or m.throughput_ops,
-}
-
-
-def resolve_objective(objective):
-    """Turn an objective name (or scoring callable) into a scoring callable."""
-    if callable(objective):
-        return objective
-    try:
-        return OBJECTIVES[objective]
-    except KeyError as exc:
-        raise DSEError(f"unknown objective {objective!r}") from exc
 
 
 #: Accepted values of the ``split_accumulators`` evaluation policy.
@@ -441,6 +435,15 @@ def evaluate_design_point(
         steady_throughput = throughput
     area = estimate_area(point.hw, result.imem_bits, result.total_registers,
                          n_cores=n_cores, technology=technology)
+    # Power prices the same design the area model measured: dynamic power
+    # scales with the scoring kernel's issue-slot utilisation, energy amortises
+    # the draw over the steady-state per-pairing time, and throughput/W is the
+    # rankable energy-efficiency axis (the "power"/"energy"/
+    # "throughput_per_watt" objectives).
+    power = estimate_power(point.hw, area, freq,
+                           activity=result.ipc / max(1, point.hw.issue_width),
+                           technology=technology)
+    energy_uj = (power.total_mw / 1e3) * (steady_cycles_per_pairing / freq)
     service_fields = {}
     if service_profile is not None:
         service_fields = _service_level_metrics(
@@ -465,8 +468,20 @@ def evaluate_design_point(
         pipeline_depth=depth_winner,
         steady_cycles_per_pairing=steady_cycles_per_pairing,
         steady_throughput_ops=steady_throughput,
+        power_mw=power.total_mw,
+        energy_per_pairing_uj=energy_uj,
+        throughput_per_watt=steady_throughput / (power.total_mw / 1e3),
         **service_fields,
     )
+
+
+#: Error raised by both explorers' ``best()`` when the sweep produced no
+#: rankable metrics -- an empty point list, or every point filtered away.
+#: One shared constant so the two explorers can never drift apart.
+EMPTY_SPACE_MESSAGE = (
+    "empty design space: no design point produced metrics to rank "
+    "(did the sweep receive any points?)"
+)
 
 
 class DesignSpaceExplorer:
@@ -483,18 +498,35 @@ class DesignSpaceExplorer:
         self.technology = technology
         self.evaluated: list = []
 
-    def explore(self, points, objective="throughput") -> list:
-        """Evaluate every point; returns metrics sorted best-first by the objective."""
+    def _engine(self):
         from repro.dse.engine import ParallelExplorer
 
-        engine = ParallelExplorer(self.curve, workers=1, n_cores=self.n_cores,
-                                  technology=self.technology)
+        return ParallelExplorer(self.curve, workers=1, n_cores=self.n_cores,
+                                technology=self.technology)
+
+    def explore(self, points, objective="throughput") -> list:
+        """Evaluate every point; returns metrics sorted best-first by the objective."""
+        engine = self._engine()
         ranked = engine.explore(points, objective)
         self.evaluated = engine.evaluated
         return ranked
 
+    def explore_pareto(self, points, objectives=("throughput", "area"),
+                       strategy="exhaustive", budget=None):
+        """Multi-objective sweep; returns a :class:`repro.dse.pareto.ParetoResult`.
+
+        Same semantics as :meth:`ParallelExplorer.explore_pareto` (this is the
+        ``workers=1`` routing of it): the frontier is bit-identical for any
+        worker count and any point enumeration order.
+        """
+        engine = self._engine()
+        result = engine.explore_pareto(points, objectives,
+                                       strategy=strategy, budget=budget)
+        self.evaluated = engine.evaluated
+        return result
+
     def best(self, points, objective="throughput") -> DesignMetrics:
         ranked = self.explore(points, objective)
         if not ranked:
-            raise DSEError("empty design space")
+            raise DSEError(EMPTY_SPACE_MESSAGE)
         return ranked[0]

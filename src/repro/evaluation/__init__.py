@@ -2,6 +2,7 @@
 
 from repro.evaluation import (  # noqa: F401
     batch_verify,
+    pareto_sweep,
     table2,
     table3,
     table5,
@@ -19,6 +20,7 @@ from repro.evaluation.runner import run_all, EXPERIMENTS
 
 __all__ = [
     "batch_verify",
+    "pareto_sweep",
     "table2",
     "table3",
     "table5",

@@ -22,6 +22,14 @@ identical across backends; only wall-clock time changes.
 (the default every ``pipeline_depth=None`` evaluation resolves to).  ``N``
 must be a positive integer; bools, floats and zero are rejected at the flag,
 mirroring ``validate_core_count``.
+
+``--objectives a,b,c`` / ``--strategy NAME`` / ``--budget N`` configure the
+multi-objective sweep (the ``pareto_sweep`` experiment) -- exported as
+``FINESSE_DSE_OBJECTIVES`` / ``FINESSE_DSE_STRATEGY`` / ``FINESSE_DSE_BUDGET``
+so every explorer in the run resolves the same defaults.  ``--objectives
+help`` prints the registered objectives with their descriptions and exits;
+unknown objective or strategy names fail at the flag with the same
+``DSEError`` the explorers raise.
 """
 
 from __future__ import annotations
@@ -33,13 +41,22 @@ import time
 
 from repro.compiler.pipeline import compile_cache_stats
 from repro.compiler.store import CACHE_DIR_ENV, active_store, configure_store
-from repro.errors import SimulationError
+from repro.errors import DSEError, SimulationError
 from repro.fields.backends import BACKEND_ENV, configure_fp_backend
 from repro.dse.engine import WORKERS_ENV, worker_cache_stats
+from repro.dse.objectives import list_objectives, resolve_objective
+from repro.dse.search import (
+    BUDGET_ENV,
+    OBJECTIVES_ENV,
+    STRATEGY_ENV,
+    resolve_strategy,
+    validate_budget,
+)
 from repro.sim.cycle import PIPELINE_DEPTH_ENV, validate_pipeline_depth
 from repro.evaluation import (
     batch_verify,
     fig2,
+    pareto_sweep,
     fig6,
     fig8,
     fig9,
@@ -69,6 +86,7 @@ EXPERIMENTS = {
     "fig11": fig11,
     "fig12": fig12,
     "batch_verify": batch_verify,
+    "pareto_sweep": pareto_sweep,
 }
 
 
@@ -159,6 +177,33 @@ def main(argv=None) -> int:
                     f"--pipeline-depth must be an integer, got {raw!r}"
                 ) from exc
             os.environ[PIPELINE_DEPTH_ENV] = str(validate_pipeline_depth(depth))
+        elif arg == "--objectives":
+            # "help" prints the registry and exits; otherwise every name is
+            # validated here through the same resolution path the explorers
+            # use, so a typo fails the flag with the identical DSEError.
+            raw = args.pop(0)
+            if raw.strip().lower() == "help":
+                print("registered objectives (repro.list_objectives()):")
+                for name, description in list_objectives().items():
+                    print(f"  {name:<20} {description}")
+                return 0
+            names_list = [name.strip() for name in raw.split(",") if name.strip()]
+            if not names_list:
+                raise DSEError("--objectives needs at least one objective name")
+            for objective in names_list:
+                resolve_objective(objective)
+            os.environ[OBJECTIVES_ENV] = ",".join(names_list)
+        elif arg == "--strategy":
+            strategy = args.pop(0)
+            resolve_strategy(strategy)
+            os.environ[STRATEGY_ENV] = strategy
+        elif arg == "--budget":
+            raw = args.pop(0)
+            try:
+                budget = int(raw)
+            except ValueError as exc:
+                raise DSEError(f"--budget must be an integer, got {raw!r}") from exc
+            os.environ[BUDGET_ENV] = str(validate_budget(budget))
         else:
             names = (names or []) + [arg]
     results = run_all(scale=scale, names=names)

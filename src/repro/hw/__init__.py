@@ -10,6 +10,7 @@ from repro.hw.presets import (
     figure11_models,
 )
 from repro.hw.area import AreaBreakdown, estimate_area
+from repro.hw.power import PowerBreakdown, estimate_power
 from repro.hw.timing import critical_path_ns, frequency_mhz
 from repro.hw.technology import TechnologyNode, TECH_40NM, TECH_65NM, get_node
 
@@ -23,6 +24,8 @@ __all__ = [
     "figure11_models",
     "AreaBreakdown",
     "estimate_area",
+    "PowerBreakdown",
+    "estimate_power",
     "critical_path_ns",
     "frequency_mhz",
     "TechnologyNode",

@@ -17,7 +17,8 @@ from pathlib import Path  # noqa: E402
 
 
 def test_docs_tree_exists():
-    for name in ("docs/architecture.md", "docs/serving.md", "README.md"):
+    for name in ("docs/architecture.md", "docs/serving.md", "docs/dse.md",
+                 "README.md"):
         assert os.path.exists(os.path.join(REPO_ROOT, name)), name
 
 
@@ -25,6 +26,12 @@ def test_readme_links_to_docs():
     readme = Path(REPO_ROOT, "README.md").read_text()
     assert "docs/architecture.md" in readme
     assert "docs/serving.md" in readme
+    assert "docs/dse.md" in readme
+
+
+def test_architecture_links_to_dse_guide():
+    architecture = Path(REPO_ROOT, "docs", "architecture.md").read_text()
+    assert "dse.md" in architecture
 
 
 def test_all_relative_links_resolve():

@@ -1,0 +1,218 @@
+"""explore_pareto end to end: determinism, guided search, errors, runner flags."""
+
+import random
+
+import pytest
+
+from repro.dse.engine import ParallelExplorer
+from repro.dse.explorer import EMPTY_SPACE_MESSAGE, DesignSpaceExplorer
+from repro.dse.objectives import list_objectives, resolve_objective
+from repro.dse.search import (
+    BUDGET_ENV,
+    OBJECTIVES_ENV,
+    STRATEGY_ENV,
+    default_budget,
+    default_objectives,
+    default_strategy,
+    proxy_design_metrics,
+    resolve_strategy,
+    validate_budget,
+)
+from repro.dse.space import DesignPoint, design_points, named_variant_configs
+from repro.errors import DSEError
+from repro.evaluation.runner import main as runner_main
+from repro.hw.presets import figure10_models
+
+
+@pytest.fixture(scope="module")
+def toy_points(toy_bn):
+    configs = list(named_variant_configs().values())
+    hw_models = figure10_models(toy_bn.params.p.bit_length())[:2]
+    return design_points(configs, hw_models)
+
+
+@pytest.fixture(scope="module")
+def full_points(toy_bn):
+    """The full Figure 10 toy space the guided-search contract is stated on."""
+    configs = list(named_variant_configs().values())
+    return design_points(configs, figure10_models(toy_bn.params.p.bit_length()))
+
+
+# ---------------------------------------------------------------------------
+# Determinism: worker count and input order must not matter
+# ---------------------------------------------------------------------------
+
+def test_frontier_identical_across_worker_counts(toy_bn, toy_points):
+    sequential = ParallelExplorer(toy_bn, workers=1).explore_pareto(
+        toy_points, objectives=("throughput", "area"))
+    with ParallelExplorer(toy_bn, workers=2, chunk_size=2) as parallel:
+        sharded = parallel.explore_pareto(toy_points, objectives=("throughput", "area"))
+    assert sharded.frontier == sequential.frontier
+    assert sharded.frontier_scores == sequential.frontier_scores
+    assert sharded.labels() == sequential.labels()
+    assert sharded.extremes == sequential.extremes
+    legacy = DesignSpaceExplorer(toy_bn).explore_pareto(
+        toy_points, objectives=("throughput", "area"))
+    assert legacy.frontier == sequential.frontier
+    assert legacy.frontier_scores == sequential.frontier_scores
+
+
+def test_frontier_invariant_under_input_permutation(toy_bn, toy_points):
+    engine = ParallelExplorer(toy_bn, workers=1)
+    reference = engine.explore_pareto(toy_points, objectives=("throughput", "area"))
+    for seed in range(3):
+        shuffled = list(toy_points)
+        random.Random(seed).shuffle(shuffled)
+        again = engine.explore_pareto(shuffled, objectives=("throughput", "area"))
+        assert again.frontier == reference.frontier
+        assert again.frontier_scores == reference.frontier_scores
+    # Duplicated points collapse to their semantic identity: same frontier,
+    # same dominated count over the distinct set.
+    doubled = list(toy_points) + list(toy_points)
+    dup = engine.explore_pareto(doubled, objectives=("throughput", "area"))
+    assert dup.frontier == reference.frontier
+    assert dup.total_points == reference.total_points
+
+
+def test_explore_ranking_breaks_score_ties_by_label(toy_bn, toy_points):
+    """Two labels carrying the same design score order deterministically."""
+    point = toy_points[0]
+    twin_a = DesignPoint(point.variant_config, point.hw, label="tie-b")
+    twin_b = DesignPoint(point.variant_config, point.hw, label="tie-a")
+    engine = ParallelExplorer(toy_bn, workers=1)
+    ranked = engine.explore([twin_a, twin_b], objective="throughput")
+    assert [m.label for m in ranked] == ["tie-a", "tie-b"]
+
+
+# ---------------------------------------------------------------------------
+# Guided search: budget and frontier-recovery contract
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("strategy", ["successive_halving", "local"])
+def test_guided_strategy_recovers_frontier_within_budget(toy_bn, full_points, strategy):
+    engine = ParallelExplorer(toy_bn, workers=1, do_assemble=False)
+    exhaustive = engine.explore_pareto(full_points, objectives=("throughput", "area"))
+    assert exhaustive.evaluated == exhaustive.total_points == len(full_points)
+
+    guided = engine.explore_pareto(full_points, objectives=("throughput", "area"),
+                                   strategy=strategy)
+    assert guided.strategy == strategy
+    assert guided.evaluated <= len(full_points) // 2
+    # The guided frontier contains every exhaustive-frontier point (it may
+    # not contain more: its frontier is non-dominated within the evaluated
+    # subset, and the exhaustive front dominates everything else).
+    assert set(exhaustive.labels()) <= set(guided.labels())
+    # A tight explicit budget is respected.
+    tight = engine.explore_pareto(full_points, objectives=("throughput", "area"),
+                                  strategy=strategy, budget=3)
+    assert tight.evaluated <= 3
+
+
+def test_proxy_metrics_are_deterministic_and_populated(toy_bn, full_points):
+    first = [proxy_design_metrics(toy_bn, point) for point in full_points]
+    again = [proxy_design_metrics(toy_bn, point) for point in full_points]
+    assert first == again
+    for proxy in first:
+        assert proxy.cycles > 0
+        assert proxy.area_mm2 > 0
+        assert proxy.power_mw > 0
+        assert proxy.throughput_ops > 0
+
+
+# ---------------------------------------------------------------------------
+# Error handling: identical messages in both explorers
+# ---------------------------------------------------------------------------
+
+def test_empty_space_raises_identical_dse_error(toy_bn):
+    engine = ParallelExplorer(toy_bn, workers=1)
+    legacy = DesignSpaceExplorer(toy_bn)
+    with pytest.raises(DSEError) as parallel_err:
+        engine.best([])
+    with pytest.raises(DSEError) as legacy_err:
+        legacy.best([])
+    assert str(parallel_err.value) == EMPTY_SPACE_MESSAGE
+    assert str(legacy_err.value) == EMPTY_SPACE_MESSAGE
+    # An explicitly empty pareto sweep reports an empty result, not a crash.
+    result = engine.explore_pareto([], objectives=("throughput", "area"))
+    assert result.frontier == ()
+    assert result.total_points == 0
+
+
+def test_unknown_objective_identical_in_both_explorers(toy_bn, toy_points):
+    engine = ParallelExplorer(toy_bn, workers=1)
+    legacy = DesignSpaceExplorer(toy_bn)
+    with pytest.raises(DSEError) as parallel_err:
+        engine.explore_pareto(toy_points, objectives=("throughput", "bogus"))
+    with pytest.raises(DSEError) as legacy_err:
+        legacy.explore_pareto(toy_points, objectives=("throughput", "bogus"))
+    assert str(parallel_err.value) == str(legacy_err.value)
+    assert "unknown objective 'bogus'" in str(parallel_err.value)
+    assert "list_objectives" in str(parallel_err.value)
+
+
+def test_strategy_and_budget_validation(toy_bn, toy_points):
+    engine = ParallelExplorer(toy_bn, workers=1)
+    with pytest.raises(DSEError, match="unknown search strategy"):
+        engine.explore_pareto(toy_points, strategy="annealing")
+    for bad in (0, -1, 1.5, True):
+        with pytest.raises(DSEError):
+            validate_budget(bad)
+    assert validate_budget(7) == 7
+    assert resolve_strategy("local") is not None
+
+
+# ---------------------------------------------------------------------------
+# Registry and environment defaults
+# ---------------------------------------------------------------------------
+
+def test_list_objectives_registry():
+    registry = list_objectives()
+    for name in ("throughput", "latency", "area", "efficiency", "power",
+                 "energy", "throughput_per_watt", "steady_throughput",
+                 "service_throughput", "service_p99"):
+        assert name in registry
+        assert registry[name]                      # every entry documented
+        assert resolve_objective(name).name == name
+
+
+def test_env_defaults(monkeypatch):
+    monkeypatch.delenv(OBJECTIVES_ENV, raising=False)
+    monkeypatch.delenv(STRATEGY_ENV, raising=False)
+    monkeypatch.delenv(BUDGET_ENV, raising=False)
+    assert default_objectives() == ("throughput", "area")
+    assert default_strategy() == "exhaustive"
+    assert default_budget() is None
+    monkeypatch.setenv(OBJECTIVES_ENV, "power, energy")
+    monkeypatch.setenv(STRATEGY_ENV, "local")
+    monkeypatch.setenv(BUDGET_ENV, "5")
+    assert default_objectives() == ("power", "energy")
+    assert default_strategy() == "local"
+    assert default_budget() == 5
+
+
+# ---------------------------------------------------------------------------
+# Runner flags
+# ---------------------------------------------------------------------------
+
+def test_runner_objectives_help(capsys, monkeypatch):
+    monkeypatch.delenv(OBJECTIVES_ENV, raising=False)
+    assert runner_main(["--objectives", "help"]) == 0
+    out = capsys.readouterr().out
+    for name in list_objectives():
+        assert name in out
+
+
+def test_runner_flag_validation(monkeypatch):
+    monkeypatch.delenv(OBJECTIVES_ENV, raising=False)
+    monkeypatch.delenv(STRATEGY_ENV, raising=False)
+    monkeypatch.delenv(BUDGET_ENV, raising=False)
+    with pytest.raises(DSEError, match="unknown objective"):
+        runner_main(["--objectives", "throughput,bogus"])
+    with pytest.raises(DSEError, match="unknown search strategy"):
+        runner_main(["--strategy", "annealing"])
+    with pytest.raises(DSEError, match="--budget must be an integer"):
+        runner_main(["--budget", "lots"])
+    with pytest.raises(DSEError):
+        runner_main(["--budget", "0"])
+    with pytest.raises(DSEError, match="at least one objective"):
+        runner_main(["--objectives", " , "])

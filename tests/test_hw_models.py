@@ -5,6 +5,7 @@ import pytest
 from repro.hw.area import estimate_area
 from repro.hw.memory import estimate_data_memory, estimate_instruction_memory
 from repro.hw.multiplier import estimate_multiplier, karatsuba_multiplier_count, schoolbook_multiplier_count
+from repro.hw.power import estimate_power
 from repro.hw.presets import default_model
 from repro.hw.technology import TECH_40NM, TECH_65NM, get_node
 from repro.hw.timing import critical_path_ns, frequency_mhz
@@ -81,3 +82,48 @@ def test_area_scales_with_word_width():
     large = estimate_area(default_model(509), 1_000_000, 400, n_cores=1)
     assert large.alu_mm2 > small.alu_mm2
     assert large.dmem_mm2 > small.dmem_mm2
+
+
+def _power_fixture(technology=TECH_40NM, frequency_mhz=700.0, activity=0.8,
+                   n_cores=1):
+    hw = default_model(254)
+    area = estimate_area(hw, 1_000_000, 400, n_cores=n_cores,
+                         technology=technology)
+    return estimate_power(hw, area, frequency_mhz, activity=activity,
+                          technology=technology)
+
+
+def test_power_totals_and_breakdown():
+    power = _power_fixture()
+    assert power.total_mw > 0
+    assert power.total_mw == pytest.approx(power.dynamic_mw + power.leakage_mw)
+    assert power.dynamic_mw == pytest.approx(
+        power.alu_mw + power.dmem_mw + power.imem_mw + power.clock_mw)
+    # The clock tree is a fixed fraction of the dynamic subtotal.
+    subtotal = power.alu_mw + power.dmem_mw + power.imem_mw
+    assert power.clock_mw == pytest.approx(subtotal * 0.15 / 0.85)
+    described = power.describe()
+    assert described["total_mw"] == pytest.approx(power.total_mw, abs=0.01)
+
+
+def test_power_monotonic_in_frequency_activity_and_cores():
+    base = _power_fixture()
+    assert _power_fixture(frequency_mhz=1400.0).dynamic_mw > base.dynamic_mw
+    assert _power_fixture(activity=0.2).dynamic_mw < base.dynamic_mw
+    assert _power_fixture(n_cores=4).total_mw > base.total_mw
+    # Activity scales compute and data memory but never the leakage.
+    assert _power_fixture(activity=0.2).leakage_mw == pytest.approx(base.leakage_mw)
+    # Activity floors at MIN_ACTIVITY instead of reaching zero dynamic power.
+    idle = _power_fixture(activity=0.0)
+    assert idle.alu_mw > 0
+    assert idle.activity == pytest.approx(0.05)
+
+
+def test_power_technology_scaling():
+    at_40 = _power_fixture(technology=TECH_40NM)
+    at_65 = _power_fixture(technology=TECH_65NM)
+    at_16 = _power_fixture(technology=get_node(16))
+    # Older node burns more power for the same design at the same clock,
+    # newer node less -- the ordering the TechnologyNode power factors encode.
+    assert at_65.total_mw > at_40.total_mw
+    assert at_16.total_mw < at_40.total_mw

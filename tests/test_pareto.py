@@ -1,0 +1,190 @@
+"""Pareto primitives: dominance, sorting, crowding, hypervolume, determinism.
+
+Pure-math property tests on synthetic metrics -- nothing here compiles or
+simulates, so the suite can afford seeded-random sweeps over many vectors.
+"""
+
+import random
+
+import pytest
+
+from repro.dse.explorer import DesignMetrics
+from repro.dse.pareto import (
+    INFINITE_CROWDING,
+    canonical_order,
+    crowding_distances,
+    dominates,
+    hypervolume,
+    non_dominated_sort,
+    pareto_front,
+    pareto_result,
+    score_vectors,
+)
+from repro.dse.objectives import resolve_objectives
+from repro.errors import DSEError
+
+
+def make_metrics(label, throughput, area, power=1.0):
+    """A synthetic DesignMetrics carrying just the ranked figures."""
+    return DesignMetrics(
+        label=label, curve="TOY", cycles=1000, instructions=100, ipc=1.0,
+        frequency_mhz=100.0, latency_us=10.0, throughput_ops=throughput,
+        area_mm2=area, throughput_per_mm2=throughput / area, registers=8,
+        power_mw=power, energy_per_pairing_uj=power / throughput * 1e3,
+        throughput_per_watt=throughput / (power / 1e3),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Dominance
+# ---------------------------------------------------------------------------
+
+def test_dominance_basics():
+    assert dominates((2.0, 2.0), (1.0, 1.0))
+    assert dominates((2.0, 1.0), (1.0, 1.0))      # >= on all, > on one
+    assert not dominates((1.0, 1.0), (1.0, 1.0))  # equal vectors: neither
+    assert not dominates((2.0, 0.0), (1.0, 1.0))  # trade-off: incomparable
+    assert not dominates((1.0, 1.0), (2.0, 0.0))
+
+
+def test_dominance_is_transitive_and_antisymmetric():
+    rng = random.Random(1234)
+    vectors = [tuple(rng.uniform(0, 10) for _ in range(3)) for _ in range(60)]
+    for a in vectors:
+        for b in vectors:
+            if dominates(a, b):
+                assert not dominates(b, a)            # antisymmetry
+                for c in vectors:
+                    if dominates(b, c):
+                        assert dominates(a, c)        # transitivity
+
+
+# ---------------------------------------------------------------------------
+# Non-dominated sorting
+# ---------------------------------------------------------------------------
+
+def test_non_dominated_sort_partitions_and_orders():
+    scores = [(1.0, 4.0), (4.0, 1.0), (2.0, 2.0), (0.5, 0.5), (3.0, 3.0)]
+    fronts = non_dominated_sort(scores)
+    # Every index appears exactly once, fronts ascend by dominance depth.
+    assert sorted(i for front in fronts for i in front) == list(range(5))
+    assert fronts[0] == [0, 1, 4]       # the mutually incomparable maxima
+    assert fronts[1] == [2]             # dominated only by (3, 3)
+    assert fronts[2] == [3]
+    # No point in front k dominates a point in an earlier front.
+    for k, front in enumerate(fronts):
+        for earlier in fronts[:k]:
+            for i in front:
+                for j in earlier:
+                    assert not dominates(scores[i], scores[j])
+
+
+def test_non_dominated_sort_random_front0_is_exactly_the_nondominated_set():
+    rng = random.Random(99)
+    scores = [tuple(rng.uniform(0, 1) for _ in range(2)) for _ in range(40)]
+    fronts = non_dominated_sort(scores)
+    expected = {
+        i for i, s in enumerate(scores)
+        if not any(dominates(t, s) for t in scores)
+    }
+    assert set(fronts[0]) == expected
+
+
+# ---------------------------------------------------------------------------
+# Crowding distances
+# ---------------------------------------------------------------------------
+
+def test_crowding_boundaries_are_infinite_and_middle_ranks_by_gap():
+    scores = [(0.0, 4.0), (1.0, 3.0), (2.0, 2.0), (4.0, 0.0)]
+    crowding = crowding_distances(scores)
+    assert crowding[0] == INFINITE_CROWDING
+    assert crowding[3] == INFINITE_CROWDING
+    # The interior point next to the big gap is less crowded.
+    assert crowding[2] > crowding[1]
+    assert crowding_distances([(1.0, 2.0)]) == [INFINITE_CROWDING]
+    assert crowding_distances([]) == []
+
+
+# ---------------------------------------------------------------------------
+# Hypervolume
+# ---------------------------------------------------------------------------
+
+def test_hypervolume_known_values():
+    # Two rectangles from reference (0, 0): 1x2 union 2x1 = 3.
+    assert hypervolume([(1.0, 2.0), (2.0, 1.0)], reference=(0.0, 0.0)) == pytest.approx(3.0)
+    assert hypervolume([(2.0, 2.0)], reference=(0.0, 0.0)) == pytest.approx(4.0)
+    # A dominated point adds nothing.
+    assert hypervolume([(2.0, 2.0), (1.0, 1.0)], reference=(0.0, 0.0)) == pytest.approx(4.0)
+    assert hypervolume([], reference=(0.0, 0.0)) == 0.0
+
+
+def test_hypervolume_is_permutation_invariant():
+    rng = random.Random(7)
+    scores = [tuple(rng.uniform(0, 5) for _ in range(3)) for _ in range(12)]
+    reference = (0.0, 0.0, 0.0)
+    value = hypervolume(scores, reference=reference)
+    for seed in range(5):
+        shuffled = list(scores)
+        random.Random(seed).shuffle(shuffled)
+        assert hypervolume(shuffled, reference=reference) == pytest.approx(value)
+
+
+# ---------------------------------------------------------------------------
+# Frontier extraction on DesignMetrics
+# ---------------------------------------------------------------------------
+
+def test_pareto_front_permutation_invariant_and_canonical():
+    rng = random.Random(4242)
+    metrics = [
+        make_metrics(f"p{i:02d}", throughput=rng.uniform(10, 100),
+                     area=rng.uniform(0.5, 5.0), power=rng.uniform(1, 20))
+        for i in range(25)
+    ]
+    objectives = ("throughput", "area", "power")
+    front = pareto_front(metrics, objectives)
+    labels = [m.label for m in front]
+    for seed in range(6):
+        shuffled = list(metrics)
+        random.Random(seed).shuffle(shuffled)
+        again = pareto_front(shuffled, objectives)
+        assert [m.label for m in again] == labels
+        assert again == front
+
+
+def test_canonical_order_breaks_score_ties_by_label():
+    metrics = [make_metrics(label, throughput=50.0, area=1.0)
+               for label in ("zeta", "alpha", "mid")]
+    scorers = resolve_objectives(("throughput", "area"))
+    scores = score_vectors(metrics, scorers)
+    order = canonical_order(metrics, scores)
+    assert [metrics[i].label for i in order] == ["alpha", "mid", "zeta"]
+
+
+def test_pareto_result_describe_and_extremes():
+    metrics = [
+        make_metrics("fast-big", throughput=100.0, area=4.0, power=10.0),
+        make_metrics("slow-small", throughput=20.0, area=1.0, power=2.0),
+        make_metrics("dominated", throughput=10.0, area=4.0, power=12.0),
+    ]
+    result = pareto_result(metrics, ("throughput", "area"))
+    assert result.labels() == ("fast-big", "slow-small")
+    assert result.dominated == 1
+    assert result.total_points == 3
+    assert result.extremes == {"throughput": "fast-big", "area": "slow-small"}
+    # The default reference (per-axis frontier minimum) degenerates to zero
+    # volume on a two-point front; an explicit reference measures the spread.
+    assert result.hypervolume() == 0.0
+    assert result.hypervolume(reference=(0.0, -5.0)) > 0
+    described = result.describe()
+    assert [row["label"] for row in described["frontier"]] == ["fast-big", "slow-small"]
+    assert described["objectives"] == ["throughput", "area"]
+
+
+def test_objective_resolution_rejects_bad_inputs():
+    metrics = [make_metrics("only", throughput=1.0, area=1.0)]
+    with pytest.raises(DSEError, match="unknown objective"):
+        pareto_front(metrics, ("throughput", "nonsense"))
+    with pytest.raises(DSEError):
+        resolve_objectives("throughput")      # bare string, not a sequence
+    with pytest.raises(DSEError):
+        resolve_objectives(())
