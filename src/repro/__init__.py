@@ -83,6 +83,14 @@ Serving
     variables via ``ServiceConfig.from_env``; see ``docs/serving.md``).
     ``ServiceProfile(...)`` -- a traffic profile for ranking hardware design
     points by end-to-end service latency/throughput in the DSE layer.
+
+Reliability
+    ``configure_faults(plan)`` / ``FaultPlan`` -- the deterministic seeded
+    fault-injection framework (``FINESSE_FAULTS`` grammar); inert unless
+    configured.  ``RetryPolicy`` -- exponential backoff with full jitter.
+    ``CircuitBreaker`` -- the closed/open/half-open breaker guarding the
+    service's fused batch path.  ``ReliabilityStats`` -- the DSE engine's
+    recovery counters.  See ``docs/reliability.md``.
 """
 
 from repro.compiler.pipeline import (
@@ -105,11 +113,18 @@ from repro.hw.model import HardwareModel
 from repro.hw.presets import default_model, paper_hw1, paper_hw2
 from repro.pairing.ate import optimal_ate_pairing
 from repro.pairing.batch import multi_pairing, precompute_g2, split_batched_miller_loop
+from repro.reliability import (
+    CircuitBreaker,
+    FaultPlan,
+    ReliabilityStats,
+    RetryPolicy,
+    configure_faults,
+)
 from repro.service import ServiceConfig, ServiceProfile, VerificationService
 from repro.sim.cycle import CycleAccurateSimulator, PipelineStats
 from repro.sim.functional import FunctionalSimulator
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 __all__ = [
     "get_curve",
@@ -141,5 +156,10 @@ __all__ = [
     "VerificationService",
     "ServiceConfig",
     "ServiceProfile",
+    "configure_faults",
+    "FaultPlan",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "ReliabilityStats",
     "__version__",
 ]

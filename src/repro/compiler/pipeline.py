@@ -21,6 +21,7 @@ from repro.compiler.codegen import (
     validate_batch_size,
 )
 from repro.compiler.store import StoreStats, active_store
+from repro.reliability import faults as _faults
 from repro.compiler.opt import OptStats, optimize
 from repro.compiler.regalloc import allocate_registers, pipelined_register_demand
 from repro.compiler.schedule import (
@@ -557,6 +558,10 @@ def _cached_compile(key: str, use_cache: bool, compile_fn):
                 _RESULT_CACHE.store(key, loaded)
                 return loaded
         _RESULT_CACHE.stats.misses += 1
+    if _faults.ACTIVE is not None:
+        # Fires only on real compiles: cache hits stay fault-free, so a
+        # transient compile fault heals through the evaluate-level retry.
+        _faults.ACTIVE.apply("compile")
     result = compile_fn()
     if use_cache:
         _RESULT_CACHE.store(key, result)

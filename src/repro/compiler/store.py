@@ -61,6 +61,8 @@ import zlib
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.reliability import faults as _faults
+
 #: Bump on any incompatible change to the pickled artefact shape.
 SCHEMA_VERSION = 1
 
@@ -224,6 +226,8 @@ class ArtifactStore:
         path = self._path(key)
         try:
             blob = path.read_bytes()
+            if _faults.ACTIVE is not None:
+                blob = _faults.ACTIVE.apply("store.read", blob)
         except OSError:
             self.stats.misses += 1
             return None
@@ -246,6 +250,8 @@ class ArtifactStore:
         tmp = path.with_name(f".{path.name}.{os.getpid()}.{next(_TMP_COUNTER)}.tmp")
         try:
             blob = self._serialize(key, value)
+            if _faults.ACTIVE is not None:
+                blob = _faults.ACTIVE.apply("store.write", blob)
             path.parent.mkdir(parents=True, exist_ok=True)
             tmp.write_bytes(blob)
             os.replace(tmp, path)

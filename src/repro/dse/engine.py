@@ -57,7 +57,9 @@ sequential path transparently.
 from __future__ import annotations
 
 import os
+import traceback
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
 
@@ -74,11 +76,35 @@ from repro.dse.explorer import (
     validate_sweep_batch_size,
 )
 from repro.dse.pareto import ParetoResult, pareto_result
-from repro.errors import DSEError
+from repro.errors import DSEError, WorkerCrashError
 from repro.hw.technology import TECH_40NM, TechnologyNode
+from repro.reliability import faults as _faults
+from repro.reliability.retry import RetryPolicy, call_with_retries
+from repro.reliability.stats import FailedPoint, ReliabilityStats
 
 #: Environment variable providing the default worker count.
 WORKERS_ENV = "FINESSE_DSE_WORKERS"
+
+#: Environment variable providing the default per-point retry budget
+#: (transient evaluation failures; crashes are governed by quarantine).
+MAX_RETRIES_ENV = "FINESSE_DSE_MAX_RETRIES"
+
+#: Environment variable providing the default per-point evaluation timeout in
+#: seconds (parallel sweeps only; unset/empty disables the timeout).
+EVAL_TIMEOUT_ENV = "FINESSE_DSE_EVAL_TIMEOUT"
+
+#: Default retry budget: two retries heal every single- or double-transient
+#: fault without materially delaying a genuinely broken sweep.
+DEFAULT_MAX_RETRIES = 2
+
+#: A design point whose evaluation crashes its worker this many times is
+#: quarantined (recorded in ``ParallelExplorer.failures``) instead of being
+#: retried forever.
+QUARANTINE_AFTER = 2
+
+#: How long the pool-creation probe waits for the first worker to answer
+#: before the pool is declared unavailable (sequential fallback).
+_POOL_PROBE_TIMEOUT_S = 60.0
 
 
 def default_workers() -> int:
@@ -89,6 +115,47 @@ def default_workers() -> int:
     except ValueError:
         return 1
     return max(1, workers)
+
+
+def validate_max_retries(value) -> int:
+    """Reject anything but a non-negative integer retry budget."""
+    if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+        raise DSEError(
+            f"max retries must be a non-negative integer, got {value!r}"
+        )
+    return value
+
+
+def validate_eval_timeout(value) -> float | None:
+    """Reject anything but ``None`` or a positive number of seconds."""
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)) or value <= 0:
+        raise DSEError(
+            "evaluation timeout must be a positive number of seconds "
+            f"(or None to disable), got {value!r}"
+        )
+    return float(value)
+
+
+def default_max_retries() -> int:
+    """Retry budget from ``FINESSE_DSE_MAX_RETRIES`` (default 2)."""
+    raw = os.environ.get(MAX_RETRIES_ENV, "")
+    try:
+        retries = int(raw)
+    except ValueError:
+        return DEFAULT_MAX_RETRIES
+    return retries if retries >= 0 else DEFAULT_MAX_RETRIES
+
+
+def default_eval_timeout() -> float | None:
+    """Per-point timeout from ``FINESSE_DSE_EVAL_TIMEOUT`` (default: off)."""
+    raw = os.environ.get(EVAL_TIMEOUT_ENV, "").strip()
+    try:
+        timeout = float(raw)
+    except ValueError:
+        return None
+    return timeout if timeout > 0 else None
 
 
 @dataclass
@@ -105,6 +172,10 @@ class ExplorationReport:
     distinct_points: int = 0
     #: Merged compile-cache statistics (this process plus every worker).
     cache_stats: dict = field(default_factory=dict)
+    #: Points quarantined by this sweep (crashed workers, timeouts).
+    failed: int = 0
+    #: Recovery counters of this sweep (``ReliabilityStats.snapshot()``).
+    reliability: dict = field(default_factory=dict)
 
     def describe(self) -> dict:
         result_stats = self.cache_stats.get("result", {})
@@ -122,6 +193,9 @@ class ExplorationReport:
         if disk_stats:
             summary["disk_hits"] = disk_stats.get("hits", 0)
             summary["disk_misses"] = disk_stats.get("misses", 0)
+        if self.failed or any(self.reliability.values()):
+            summary["failed_points"] = self.failed
+            summary["reliability"] = dict(self.reliability)
         return summary
 
 
@@ -148,30 +222,75 @@ def _stats_delta(after: dict, before: dict) -> dict:
     }
 
 
+def _evaluate_point_resilient(curve, point, eval_kwargs, policy, counters):
+    """Evaluate one point with retry/backoff; wrap persistent failures.
+
+    Transient errors (injected faults, flaky I/O...) are retried up to the
+    policy's budget with full-jitter exponential backoff; whatever survives
+    the budget is re-raised as a :class:`DSEError` naming the design point,
+    with the original exception chained (``__cause__``) *and* its formatted
+    traceback embedded in the message -- the chain does not survive pickling
+    across the process-pool boundary, the message does.  Programming errors
+    (ValueError/TypeError) and simulated crashes propagate immediately.
+    """
+    label = point.display_label
+    attempts = {"n": 1}
+
+    def attempt():
+        if _faults.ACTIVE is not None:
+            _faults.ACTIVE.apply("worker.evaluate")
+        return evaluate_design_point(curve, point, **eval_kwargs)
+
+    def on_retry(attempt_no, exc, delay):
+        attempts["n"] += 1
+        counters["retries"] = counters.get("retries", 0) + 1
+        counters["backoff_s"] = counters.get("backoff_s", 0.0) + delay
+
+    try:
+        return call_with_retries(attempt, policy, label=label, on_retry=on_retry)
+    except (WorkerCrashError, ValueError, TypeError):
+        raise
+    except Exception as exc:
+        trace = "".join(
+            traceback.format_exception(type(exc), exc, exc.__traceback__)
+        ).rstrip()
+        raise DSEError(
+            f"design point {label!r} failed after {attempts['n']} attempt(s): "
+            f"{type(exc).__name__}: {exc}\n"
+            f"--- original traceback ---\n{trace}"
+        ) from exc
+
+
 def _evaluate_chunk(curve_name, chunk, n_cores, technology, do_assemble, batch_size=None,
                     split_accumulators="auto", final_exp_mode="cyclotomic",
-                    service_profile=None, pipeline_depth=None):
+                    service_profile=None, pipeline_depth=None, max_retries=None):
     """Worker entry point: evaluate one chunk of (index, point) pairs.
 
     Runs in a separate process; the curve is rebuilt (or found pre-built when
     the pool forks) from the catalog.  The compile-cache counter *delta* of the
     chunk is returned alongside the metrics -- a delta, because one pool worker
-    may serve several chunks and its cumulative counters would double-count.
+    may serve several chunks and its cumulative counters would double-count --
+    plus this chunk's retry counters for the parent's ``ReliabilityStats``.
     """
     from repro.curves.catalog import get_curve
 
     curve = get_curve(curve_name)
+    policy = RetryPolicy(
+        max_retries=default_max_retries() if max_retries is None else max_retries
+    )
+    eval_kwargs = dict(
+        n_cores=n_cores, technology=technology, do_assemble=do_assemble,
+        batch_size=batch_size, split_accumulators=split_accumulators,
+        final_exp_mode=final_exp_mode, service_profile=service_profile,
+        pipeline_depth=pipeline_depth,
+    )
+    counters: dict = {}
     before = compile_cache_stats()
     evaluated = [
-        (index, evaluate_design_point(curve, point, n_cores, technology, do_assemble,
-                                      batch_size=batch_size,
-                                      split_accumulators=split_accumulators,
-                                      final_exp_mode=final_exp_mode,
-                                      service_profile=service_profile,
-                                      pipeline_depth=pipeline_depth))
+        (index, _evaluate_point_resilient(curve, point, eval_kwargs, policy, counters))
         for index, point in chunk
     ]
-    return evaluated, _stats_delta(compile_cache_stats(), before)
+    return evaluated, _stats_delta(compile_cache_stats(), before), counters
 
 
 class ParallelExplorer:
@@ -190,6 +309,8 @@ class ParallelExplorer:
         final_exp_mode="cyclotomic",
         service_profile=None,
         pipeline_depth=None,
+        max_retries: int | None = None,
+        eval_timeout: float | None = None,
     ):
         self.curve = curve
         self.workers = default_workers() if workers is None else max(1, int(workers))
@@ -235,8 +356,28 @@ class ParallelExplorer:
         #: Forwarded verbatim to every worker, so sharded sweeps score
         #: identically to sequential ones.
         self.pipeline_depth = pipeline_depth
-        #: Metrics of the last sweep, in submission order (mirrors the points list).
+        #: Per-point retry budget for transient evaluation failures
+        #: (``FINESSE_DSE_MAX_RETRIES`` default; crash recovery is separate).
+        self.max_retries = (
+            default_max_retries() if max_retries is None
+            else validate_max_retries(max_retries)
+        )
+        #: Per-point evaluation timeout in seconds, enforced on the parallel
+        #: path (a chunk of k points gets k * eval_timeout); ``None`` = off.
+        #: Sequential evaluation cannot be preempted, so the timeout only
+        #: protects sharded sweeps.
+        self.eval_timeout = (
+            default_eval_timeout() if eval_timeout is None
+            else validate_eval_timeout(eval_timeout)
+        )
+        self.retry_policy = RetryPolicy(max_retries=self.max_retries)
+        #: Metrics of the last sweep, in submission order (mirrors the points
+        #: list; quarantined points leave a ``None`` slot).
         self.evaluated: list = []
+        #: :class:`FailedPoint` records of the last sweep's quarantined points.
+        self.failures: list = []
+        #: Recovery counters of the last sweep.
+        self.reliability = ReliabilityStats()
         self.last_report: ExplorationReport | None = None
         # The pool is created lazily and reused across sweeps so worker-side
         # compile caches stay warm; ``close()`` (or the context manager) frees it.
@@ -291,16 +432,186 @@ class ParallelExplorer:
                 duplicates.append((index, first))
         return indexed, duplicates
 
+    def _eval_kwargs(self) -> dict:
+        return dict(
+            n_cores=self.n_cores, technology=self.technology,
+            do_assemble=self.do_assemble, batch_size=self.batch_size,
+            split_accumulators=self.split_accumulators,
+            final_exp_mode=self.final_exp_mode,
+            service_profile=self.service_profile,
+            pipeline_depth=self.pipeline_depth,
+        )
+
+    def _quarantine(self, index, point, kind, attempts, exc, failed_by_index):
+        failure = FailedPoint(
+            label=point.display_label,
+            error=f"{type(exc).__name__}: {exc}",
+            kind=kind,
+            attempts=attempts,
+        )
+        self.failures.append(failure)
+        failed_by_index[index] = failure
+        self.reliability.points_quarantined += 1
+
+    def _evaluate_point_local(self, index, point, failed_by_index) -> object:
+        """In-process evaluation with the same healing contract as the pool.
+
+        Simulated crashes (:class:`WorkerCrashError`) are retried once and
+        quarantined on the second strike, mirroring the pool supervisor, so
+        ``workers=1`` chaos runs exercise identical semantics.
+        """
+        counters: dict = {}
+        crashes = 0
+        while True:
+            try:
+                metrics = _evaluate_point_resilient(
+                    self.curve, point, self._eval_kwargs(),
+                    self.retry_policy, counters,
+                )
+            except WorkerCrashError as exc:
+                crashes += 1
+                self.reliability.worker_crashes += 1
+                if crashes >= QUARANTINE_AFTER:
+                    self._quarantine(index, point, "crash", crashes, exc,
+                                     failed_by_index)
+                    metrics = None
+                else:
+                    continue
+            self.reliability.merge_counters(counters)
+            return metrics
+
     def _evaluate_sequential(self, points) -> list:
+        failed_by_index: dict = {}
         return [
-            evaluate_design_point(self.curve, point, self.n_cores, self.technology,
-                                  self.do_assemble, batch_size=self.batch_size,
-                                  split_accumulators=self.split_accumulators,
-                                  final_exp_mode=self.final_exp_mode,
-                                  service_profile=self.service_profile,
-                                  pipeline_depth=self.pipeline_depth)
-            for point in points
+            self._evaluate_point_local(index, point, failed_by_index)
+            for index, point in enumerate(points)
         ]
+
+    def _submit_chunk(self, pool, chunk):
+        return pool.submit(
+            _evaluate_chunk, self.curve.name, chunk, self.n_cores,
+            self.technology, self.do_assemble, self.batch_size,
+            self.split_accumulators, self.final_exp_mode,
+            self.service_profile, self.pipeline_depth, self.max_retries,
+        )
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            pool = ProcessPoolExecutor(max_workers=self.workers)
+            # Probe: a worker must actually start and answer.  Restricted
+            # sandboxes fail *here* -- which must mean "fall back to
+            # sequential", never "enter crash recovery" -- so from this point
+            # on a broken pool is evidence of a genuine worker death.
+            pool.submit(os.getpid).result(timeout=_POOL_PROBE_TIMEOUT_S)
+            self._pool = pool
+        return self._pool
+
+    def _kill_pool(self):
+        """Tear a broken/stalled pool down without waiting on its futures."""
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        processes = list(getattr(pool, "_processes", {}).values())
+        pool.shutdown(wait=False, cancel_futures=True)
+        for process in processes:
+            try:
+                process.terminate()
+            except Exception:
+                pass
+
+    def _chunk_timeout(self, chunk) -> float | None:
+        if self.eval_timeout is None:
+            return None
+        return self.eval_timeout * max(1, len(chunk))
+
+    def _harvest(self, payload, slots, worker_stats):
+        evaluated, stats, counters = payload
+        for index, metrics in evaluated:
+            slots[index] = metrics
+        worker_stats.append(stats)
+        self.reliability.merge_counters(counters)
+
+    def _dispatch_round(self, chunks, slots, worker_stats):
+        """Submit every chunk; harvest results; survive worker deaths.
+
+        Returns the ``(index, point)`` pairs of chunks that did not complete
+        because a worker crashed or timed out -- the caller re-runs those in
+        isolation to attribute the fault to a single point.  A ``DSEError``
+        raised *inside* a worker (persistent evaluation failure) propagates:
+        that is a diagnosable point failure, not a dead worker.
+        """
+        if not chunks:
+            return []
+        pool = self._ensure_pool()
+        submitted = [(self._submit_chunk(pool, chunk), chunk) for chunk in chunks]
+        survivors: list = []
+        broken = False
+        try:
+            for future, chunk in submitted:
+                if broken:
+                    # The pool is gone; keep whatever finished before it broke
+                    # and queue the rest for isolation.
+                    if future.done() and future.exception() is None:
+                        self._harvest(future.result(), slots, worker_stats)
+                    else:
+                        survivors.append(chunk)
+                    continue
+                try:
+                    payload = future.result(timeout=self._chunk_timeout(chunk))
+                except BrokenProcessPool:
+                    broken = True
+                    self.reliability.worker_crashes += 1
+                    survivors.append(chunk)
+                except FuturesTimeout:
+                    broken = True
+                    self.reliability.eval_timeouts += 1
+                    survivors.append(chunk)
+                else:
+                    self._harvest(payload, slots, worker_stats)
+        except BaseException:
+            # A worker-raised DSEError (or a local error): do not leave the
+            # remaining futures running a sweep we are abandoning.
+            for future, _ in submitted:
+                future.cancel()
+            raise
+        if broken:
+            self._kill_pool()
+            self.reliability.chunks_resubmitted += len(survivors)
+        return [pair for chunk in survivors for pair in chunk]
+
+    def _isolate_points(self, pairs, slots, worker_stats, failed_by_index):
+        """Re-run crash-suspect points one at a time; quarantine repeaters.
+
+        A chunk only lands here after its worker died, so each of its points
+        is individually re-submitted: innocent bystanders complete, and the
+        point that actually kills workers is identified and -- after
+        ``QUARANTINE_AFTER`` strikes -- recorded as failed rather than
+        retried forever.
+        """
+        self.reliability.points_isolated += len(pairs)
+        for index, point in pairs:
+            strikes = 0
+            while True:
+                pool = self._ensure_pool()
+                future = self._submit_chunk(pool, [(index, point)])
+                try:
+                    payload = future.result(timeout=self._chunk_timeout([point]))
+                except (BrokenProcessPool, FuturesTimeout) as exc:
+                    self._kill_pool()
+                    strikes += 1
+                    if isinstance(exc, FuturesTimeout):
+                        kind = "timeout"
+                        self.reliability.eval_timeouts += 1
+                    else:
+                        kind = "crash"
+                        self.reliability.worker_crashes += 1
+                    if strikes >= QUARANTINE_AFTER:
+                        self._quarantine(index, point, kind, strikes, exc,
+                                         failed_by_index)
+                        break
+                else:
+                    self._harvest(payload, slots, worker_stats)
+                    break
 
     def _evaluate_parallel(self, points):
         """Fan chunks out to a process pool; reassemble in submission order.
@@ -308,7 +619,9 @@ class ParallelExplorer:
         Returns ``(metrics, chunks, worker_stats, distinct_count)`` or ``None``
         when the pool cannot be used (non-catalog curve, restricted
         environment), in which case the caller falls back to the sequential
-        path.
+        path.  Worker deaths and timeouts are healed along the way: dead
+        workers' chunks are resubmitted point-by-point and repeat offenders
+        are quarantined (their slots stay ``None``).
         """
         if self.curve.name not in CURVE_SPECS or self._pool_unavailable:
             return None
@@ -316,35 +629,32 @@ class ParallelExplorer:
         chunks = self._chunk_indexed(indexed)
         slots: list = [None] * len(points)
         worker_stats: list = []
+        failed_by_index: dict = {}
         try:
-            if self._pool is None:
-                self._pool = ProcessPoolExecutor(max_workers=self.workers)
-            for evaluated, stats in self._pool.map(
-                _evaluate_chunk,
-                [self.curve.name] * len(chunks),
-                chunks,
-                [self.n_cores] * len(chunks),
-                [self.technology] * len(chunks),
-                [self.do_assemble] * len(chunks),
-                [self.batch_size] * len(chunks),
-                [self.split_accumulators] * len(chunks),
-                [self.final_exp_mode] * len(chunks),
-                [self.service_profile] * len(chunks),
-                [self.pipeline_depth] * len(chunks),
-            ):
-                for index, metrics in evaluated:
-                    slots[index] = metrics
-                worker_stats.append(stats)
-        except (OSError, PermissionError, ImportError, BrokenProcessPool):
+            pending = self._dispatch_round(chunks, slots, worker_stats)
+            if pending:
+                self._isolate_points(pending, slots, worker_stats, failed_by_index)
+        except (OSError, PermissionError, ImportError, FuturesTimeout,
+                BrokenProcessPool):
             # Process pools need /dev/shm semaphores and fork/spawn rights;
-            # sandboxed CI runners sometimes deny both.  Remember the failure
-            # and serve every subsequent sweep sequentially.
+            # sandboxed CI runners sometimes deny both (the creation probe
+            # fails).  Remember the failure and serve every subsequent sweep
+            # sequentially.
             self._pool_unavailable = True
-            self.close()
+            self._kill_pool()
             return None
         for index, representative in duplicates:
-            slots[index] = replace(slots[representative],
-                                   label=points[index].display_label)
+            rep_metrics = slots[representative]
+            if rep_metrics is not None:
+                slots[index] = replace(rep_metrics,
+                                       label=points[index].display_label)
+            elif representative in failed_by_index:
+                # The representative was quarantined: its duplicates fail the
+                # same way, each recorded under its own label.
+                rep_failure = failed_by_index[representative]
+                self.failures.append(
+                    replace(rep_failure, label=points[index].display_label)
+                )
         return slots, chunks, worker_stats, len(indexed)
 
     @staticmethod
@@ -408,11 +718,14 @@ class ParallelExplorer:
 
         Equal-score points order stably by their label, so the ranked output
         is deterministic even across tied designs.  ``self.evaluated`` retains
-        the metrics in submission order (one entry per design point) and
+        the metrics in submission order (one entry per design point; a
+        quarantined point leaves ``None`` and a ``self.failures`` record) and
         ``self.last_report`` the sweep's bookkeeping.
         """
         score = resolve_objective(objective)
         points = list(points)
+        self.failures = []
+        self.reliability.reset()
         stats_before = compile_cache_stats()
         worker_stats: list = []
         self.evaluated, parallel, n_chunks, distinct = self._evaluate_batch(
@@ -427,8 +740,11 @@ class ParallelExplorer:
                 objective, "__name__", "custom"),
             parallel=parallel,
             cache_stats=self._merge_cache_stats(local_delta, worker_stats),
+            failed=len(self.failures),
+            reliability=self.reliability.snapshot(),
         )
-        return sorted(self.evaluated, key=lambda m: (-score(m), m.label))
+        ranked = [m for m in self.evaluated if m is not None]
+        return sorted(ranked, key=lambda m: (-score(m), m.label))
 
     def explore_pareto(self, points, objectives=("throughput", "area"),
                        strategy="exhaustive", budget=None) -> ParetoResult:
@@ -459,6 +775,8 @@ class ParallelExplorer:
         run = resolve_strategy(strategy)
         budget = validate_budget(budget if budget is not None else default_budget())
         points = list(points)
+        self.failures = []
+        self.reliability.reset()
         distinct = self._canonical_distinct(points)
         strategy_name = strategy if isinstance(strategy, str) else getattr(
             strategy, "__name__", "custom")
@@ -482,7 +800,9 @@ class ParallelExplorer:
             metrics, parallel, n_chunks, _ = self._evaluate_batch(batch, worker_stats)
             ran_parallel = ran_parallel or parallel
             chunk_total += n_chunks
-            evaluated_metrics.extend(metrics)
+            # Quarantined points surface as None slots: the frontier is built
+            # from the survivors, and strategies skip the holes.
+            evaluated_metrics.extend(m for m in metrics if m is not None)
             return metrics
 
         def is_cached(index):
@@ -517,6 +837,8 @@ class ParallelExplorer:
             objective="+".join(result.objectives),
             parallel=ran_parallel,
             cache_stats=self._merge_cache_stats(local_delta, worker_stats),
+            failed=len(self.failures),
+            reliability=self.reliability.snapshot(),
         )
         return result
 

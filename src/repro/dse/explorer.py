@@ -497,6 +497,8 @@ class DesignSpaceExplorer:
         self.n_cores = n_cores
         self.technology = technology
         self.evaluated: list = []
+        #: Quarantined points of the last sweep (``FailedPoint`` records).
+        self.failures: list = []
 
     def _engine(self):
         from repro.dse.engine import ParallelExplorer
@@ -509,6 +511,7 @@ class DesignSpaceExplorer:
         engine = self._engine()
         ranked = engine.explore(points, objective)
         self.evaluated = engine.evaluated
+        self.failures = engine.failures
         return ranked
 
     def explore_pareto(self, points, objectives=("throughput", "area"),
@@ -523,6 +526,7 @@ class DesignSpaceExplorer:
         result = engine.explore_pareto(points, objectives,
                                        strategy=strategy, budget=budget)
         self.evaluated = engine.evaluated
+        self.failures = engine.failures
         return result
 
     def best(self, points, objective="throughput") -> DesignMetrics:

@@ -293,9 +293,12 @@ def local_search(ctx: SearchContext) -> None:
         return point.variant_config.cache_key(), point.hw.cache_key()
 
     while len(evaluated) < budget:
+        # Quarantined points return None metrics: they stay in ``evaluated``
+        # (each index is requested at most once) but never seed the frontier.
+        survivors = {i: m for i, m in evaluated.items() if m is not None}
         frontier_labels = {m.label for m in
-                           pareto_front(list(evaluated.values()), ctx.scorers)}
-        frontier_ids = [identity(i) for i, m in evaluated.items()
+                           pareto_front(list(survivors.values()), ctx.scorers)}
+        frontier_ids = [identity(i) for i, m in survivors.items()
                         if m.label in frontier_labels]
         neighbours = [
             i for i in ranking

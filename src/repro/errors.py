@@ -56,3 +56,31 @@ class ServiceOverloadedError(ServiceError):
     def __init__(self, message: str, retry_after_s: float = 0.0):
         super().__init__(message)
         self.retry_after_s = retry_after_s
+
+
+class DeadlineExceededError(ServiceOverloadedError):
+    """Request shed because it sat in the queue past the shedding deadline.
+
+    A subclass of :class:`ServiceOverloadedError` because shedding is an
+    overload symptom: callers that already handle 429-style rejection get
+    deadline shedding for free, including the ``retry_after_s`` hint.
+    """
+
+
+class ReliabilityError(ReproError):
+    """Invalid fault plan, retry policy or circuit-breaker configuration."""
+
+
+class InjectedFaultError(ReliabilityError):
+    """Error raised by an active fault plan at a generic fault point."""
+
+
+class WorkerCrashError(ReliabilityError):
+    """A worker died (or, in-process, simulated dying) mid-evaluation.
+
+    Raised in lieu of ``os._exit`` when a ``crash`` fault fires outside a
+    multiprocessing worker, so sequential runs exercise the same recovery
+    paths the process pool does.  Never retried by the in-worker retry loop:
+    crash handling belongs to the pool supervisor, which counts crashes
+    toward quarantine.
+    """

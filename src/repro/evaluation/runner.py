@@ -23,6 +23,16 @@ identical across backends; only wall-clock time changes.
 must be a positive integer; bools, floats and zero are rejected at the flag,
 mirroring ``validate_core_count``.
 
+``--max-retries N`` / ``--eval-timeout SECONDS`` configure the exploration
+engine's failure handling for the whole run -- exported as
+``FINESSE_DSE_MAX_RETRIES`` / ``FINESSE_DSE_EVAL_TIMEOUT`` so DSE worker
+processes inherit them.  ``--max-retries`` (default 2) is the per-point
+retry budget for transient evaluation failures (exponential backoff with
+full jitter between attempts); ``--eval-timeout`` (default: off) bounds each
+point's evaluation in seconds on sharded sweeps (a stalled worker is killed
+and its chunk resubmitted).  Bad values fail the flag with a ``DSEError``,
+mirroring ``--budget``.
+
 ``--objectives a,b,c`` / ``--strategy NAME`` / ``--budget N`` configure the
 multi-objective sweep (the ``pareto_sweep`` experiment) -- exported as
 ``FINESSE_DSE_OBJECTIVES`` / ``FINESSE_DSE_STRATEGY`` / ``FINESSE_DSE_BUDGET``
@@ -43,7 +53,14 @@ from repro.compiler.pipeline import compile_cache_stats
 from repro.compiler.store import CACHE_DIR_ENV, active_store, configure_store
 from repro.errors import DSEError, SimulationError
 from repro.fields.backends import BACKEND_ENV, configure_fp_backend
-from repro.dse.engine import WORKERS_ENV, worker_cache_stats
+from repro.dse.engine import (
+    EVAL_TIMEOUT_ENV,
+    MAX_RETRIES_ENV,
+    WORKERS_ENV,
+    validate_eval_timeout,
+    validate_max_retries,
+    worker_cache_stats,
+)
 from repro.dse.objectives import list_objectives, resolve_objective
 from repro.dse.search import (
     BUDGET_ENV,
@@ -177,6 +194,26 @@ def main(argv=None) -> int:
                     f"--pipeline-depth must be an integer, got {raw!r}"
                 ) from exc
             os.environ[PIPELINE_DEPTH_ENV] = str(validate_pipeline_depth(depth))
+        elif arg == "--max-retries":
+            # Exported so DSE worker processes retry with the same budget as
+            # this process.  Validated here: bad values fail the flag.
+            raw = args.pop(0)
+            try:
+                retries = int(raw)
+            except ValueError as exc:
+                raise DSEError(
+                    f"--max-retries must be a non-negative integer, got {raw!r}"
+                ) from exc
+            os.environ[MAX_RETRIES_ENV] = str(validate_max_retries(retries))
+        elif arg == "--eval-timeout":
+            raw = args.pop(0)
+            try:
+                timeout = float(raw)
+            except ValueError as exc:
+                raise DSEError(
+                    f"--eval-timeout must be a number of seconds, got {raw!r}"
+                ) from exc
+            os.environ[EVAL_TIMEOUT_ENV] = str(validate_eval_timeout(timeout))
         elif arg == "--objectives":
             # "help" prints the registry and exits; otherwise every name is
             # validated here through the same resolution path the explorers

@@ -1,0 +1,91 @@
+"""Retry with exponential backoff and full jitter.
+
+The jitter RNG is seeded from ``(policy seed, call label)`` so a retried
+sweep is reproducible run-over-run and across worker processes (the label
+hash uses CRC32, not Python's randomised ``hash``).  Full jitter -- a
+uniform draw over ``[0, min(cap, base * 2^attempt)]`` -- is the classic
+thundering-herd fix: retrying workers decorrelate instead of hammering a
+recovering resource in lockstep.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+import zlib
+from dataclasses import dataclass
+
+from repro.errors import ReliabilityError, WorkerCrashError
+
+#: Exception types never worth retrying: programming errors (the same call
+#: will fail the same way) and crashes (handled by the pool supervisor).
+NON_RETRYABLE = (ValueError, TypeError, WorkerCrashError)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to retry and how long to back off between attempts."""
+
+    max_retries: int = 2
+    base_delay_s: float = 0.05
+    max_delay_s: float = 2.0
+    seed: int = 0
+
+    def __post_init__(self):
+        if isinstance(self.max_retries, bool) or not isinstance(
+            self.max_retries, int
+        ) or self.max_retries < 0:
+            raise ReliabilityError(
+                f"max_retries must be a non-negative integer, "
+                f"got {self.max_retries!r}"
+            )
+        if not self.base_delay_s >= 0 or not self.max_delay_s >= 0:
+            raise ReliabilityError(
+                f"backoff delays must be non-negative, got "
+                f"base={self.base_delay_s!r} max={self.max_delay_s!r}"
+            )
+
+    def rng(self, label: str = "") -> random.Random:
+        """Deterministic jitter source for one labelled call."""
+        return random.Random(self.seed ^ zlib.crc32(label.encode("utf-8")))
+
+    def backoff_s(self, attempt: int, rng: random.Random) -> float:
+        """Full-jitter delay before retry number ``attempt`` (0-based)."""
+        cap = min(self.max_delay_s, self.base_delay_s * (2 ** attempt))
+        return rng.uniform(0.0, cap)
+
+
+def call_with_retries(
+    fn,
+    policy: RetryPolicy,
+    *,
+    label: str = "",
+    retryable=None,
+    on_retry=None,
+    sleep=time.sleep,
+):
+    """Call ``fn`` with up to ``policy.max_retries`` retries.
+
+    ``retryable(exc) -> bool`` overrides the default non-retryable filter
+    (:data:`NON_RETRYABLE`).  ``on_retry(attempt, exc, delay_s)`` is invoked
+    before each backoff sleep, for counter accounting.  The final failure
+    propagates unmodified -- callers own the wrapping.
+    """
+    rng = policy.rng(label)
+    attempt = 0
+    while True:
+        try:
+            return fn()
+        except Exception as exc:
+            keep = (
+                retryable(exc) if retryable is not None
+                else not isinstance(exc, NON_RETRYABLE)
+            )
+            if not keep or attempt >= policy.max_retries:
+                raise
+            delay = policy.backoff_s(attempt, rng)
+            if on_retry is not None:
+                on_retry(attempt, exc, delay)
+            if delay > 0:
+                sleep(delay)
+            attempt += 1

@@ -30,7 +30,11 @@ from __future__ import annotations
 
 import asyncio
 
-from repro.errors import ServiceError, ServiceOverloadedError
+from repro.errors import (
+    DeadlineExceededError,
+    ServiceError,
+    ServiceOverloadedError,
+)
 
 
 class _Pending:
@@ -55,6 +59,7 @@ class DynamicBatcher:
 
     def __init__(self, flush, *, max_batch: int, deadline_s: float,
                  queue_bound: int, retry_after_s: float | None = None,
+                 shed_after_s: float | None = None,
                  metrics=None):
         if max_batch < 1:
             raise ServiceError(f"max_batch must be >= 1, got {max_batch!r}")
@@ -62,11 +67,17 @@ class DynamicBatcher:
             raise ServiceError(f"deadline_s must be >= 0, got {deadline_s!r}")
         if queue_bound < 1:
             raise ServiceError(f"queue_bound must be >= 1, got {queue_bound!r}")
+        if shed_after_s is not None and not shed_after_s > 0:
+            raise ServiceError(
+                f"shed_after_s must be None or > 0, got {shed_after_s!r}")
         self._flush = flush
         self.max_batch = max_batch
         self.deadline_s = deadline_s
         self.queue_bound = queue_bound
         self.retry_after_s = retry_after_s
+        #: Requests older than this at batch-collection time are rejected
+        #: with :class:`DeadlineExceededError` instead of verified (None = off).
+        self.shed_after_s = shed_after_s
         self.metrics = metrics
         self._queue: asyncio.Queue = asyncio.Queue()
         self._consumer: asyncio.Task | None = None
@@ -133,7 +144,13 @@ class DynamicBatcher:
             self._consumer = asyncio.get_running_loop().create_task(self._consume())
 
     async def stop(self, drain: bool = True) -> None:
-        """Stop admissions; optionally wait for queued work, then kill the consumer."""
+        """Stop admissions; optionally wait for queued work, then kill the consumer.
+
+        Every admitted-but-unserved request is settled -- drained batches with
+        their verdicts, abandoned ones with a :class:`ServiceError` -- so no
+        caller is ever left awaiting a future that will never resolve
+        (including the ``drain=False`` / ``KeyboardInterrupt`` path).
+        """
         self._closed = True
         if drain and self._outstanding:
             await self._idle.wait()
@@ -144,42 +161,84 @@ class DynamicBatcher:
             except asyncio.CancelledError:
                 pass
             self._consumer = None
+        self._abandon_queued()
+
+    def _abandon_queued(self) -> None:
+        """Resolve every still-queued request with a ServiceError."""
+        leftovers = []
+        while True:
+            try:
+                leftovers.append(self._queue.get_nowait())
+            except asyncio.QueueEmpty:
+                break
+        if leftovers:
+            self._settle(leftovers, error=ServiceError(
+                "service stopped before this request was verified"))
 
     # -- batching ----------------------------------------------------------------
     async def _collect_batch(self) -> list:
         """Block for the first request, then apply the flush policy."""
         batch = [await self._queue.get()]
-        # Greedy phase: a backlog fills the batch without waiting.
-        while len(batch) < self.max_batch:
-            try:
-                batch.append(self._queue.get_nowait())
-            except asyncio.QueueEmpty:
-                break
-        # Deadline phase: wait out the oldest request's deadline for the rest.
-        if len(batch) < self.max_batch and self.deadline_s > 0:
-            loop = asyncio.get_running_loop()
-            flush_at = batch[0].arrival + self.deadline_s
+        try:
+            # Greedy phase: a backlog fills the batch without waiting.
             while len(batch) < self.max_batch:
-                remaining = flush_at - loop.time()
-                if remaining <= 0:
-                    break
                 try:
-                    batch.append(await asyncio.wait_for(self._queue.get(), remaining))
-                except asyncio.TimeoutError:
+                    batch.append(self._queue.get_nowait())
+                except asyncio.QueueEmpty:
                     break
+            # Deadline phase: wait out the oldest request's deadline for the rest.
+            if len(batch) < self.max_batch and self.deadline_s > 0:
+                loop = asyncio.get_running_loop()
+                flush_at = batch[0].arrival + self.deadline_s
+                while len(batch) < self.max_batch:
+                    remaining = flush_at - loop.time()
+                    if remaining <= 0:
+                        break
+                    try:
+                        batch.append(await asyncio.wait_for(self._queue.get(), remaining))
+                    except asyncio.TimeoutError:
+                        break
+        except asyncio.CancelledError:
+            # Stopped mid-collection: the partial batch's callers must not
+            # hang on futures nobody will ever resolve.
+            self._settle(batch, error=ServiceError("batcher stopped mid-batch"))
+            raise
         return batch
 
-    def _settle(self, batch: list, results=None, error: BaseException | None = None) -> None:
+    def _shed_stale(self, batch: list) -> list:
+        """Split off and reject requests older than the shedding deadline."""
+        if self.shed_after_s is None:
+            return batch
+        now = asyncio.get_running_loop().time()
+        stale = [p for p in batch if now - p.arrival > self.shed_after_s]
+        if not stale:
+            return batch
+        if self.metrics is not None:
+            self.metrics.record_shed(len(stale))
+        self._settle(stale, error=DeadlineExceededError(
+            f"request shed: waited longer than {self.shed_after_s * 1e3:.0f} ms",
+            retry_after_s=self.estimate_retry_after_s(),
+        ), count_failures=False)
+        return [p for p in batch if now - p.arrival <= self.shed_after_s]
+
+    def _settle(self, batch: list, results=None,
+                error: BaseException | None = None,
+                count_failures: bool = True) -> None:
         loop = asyncio.get_running_loop()
         now = loop.time()
         for index, pending in enumerate(batch):
+            outcome = error if error is not None else results[index]
+            failed = isinstance(outcome, BaseException)
             if not pending.future.done():       # caller may have abandoned it
-                if error is not None:
-                    pending.future.set_exception(error)
+                if failed:
+                    pending.future.set_exception(outcome)
                 else:
-                    pending.future.set_result(results[index])
-            if error is None and self.metrics is not None:
-                self.metrics.record_result(now - pending.arrival, now)
+                    pending.future.set_result(outcome)
+            if self.metrics is not None:
+                if not failed:
+                    self.metrics.record_result(now - pending.arrival, now)
+                elif count_failures:
+                    self.metrics.record_failed_request()
             self._outstanding -= 1
         if not self._outstanding:
             self._idle.set()
@@ -188,6 +247,9 @@ class DynamicBatcher:
         loop = asyncio.get_running_loop()
         while True:
             batch = await self._collect_batch()
+            batch = self._shed_stale(batch)
+            if not batch:
+                continue
             started = loop.time()
             try:
                 results = await self._flush([pending.item for pending in batch])

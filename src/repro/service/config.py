@@ -25,6 +25,9 @@ MAX_BATCH_ENV = "FINESSE_SERVICE_MAX_BATCH"
 DEADLINE_ENV = "FINESSE_SERVICE_DEADLINE_MS"
 QUEUE_BOUND_ENV = "FINESSE_SERVICE_QUEUE_BOUND"
 FUSE_ENV = "FINESSE_SERVICE_FUSE"
+BREAKER_THRESHOLD_ENV = "FINESSE_SERVICE_BREAKER_THRESHOLD"
+BREAKER_COOLDOWN_ENV = "FINESSE_SERVICE_BREAKER_COOLDOWN_MS"
+SHED_AFTER_ENV = "FINESSE_SERVICE_SHED_AFTER_MS"
 
 #: Accepted cross-request batching modes (see ``docs/serving.md``).
 FUSE_MODES = ("rlc", "none")
@@ -67,6 +70,21 @@ class ServiceConfig:
         Fixed ``retry_after_s`` hint for rejected requests; ``None`` (default)
         estimates it from the queue depth and the EMA of recent batch service
         times.
+    ``breaker_threshold`` / ``breaker_cooldown_ms``
+        Circuit breaker on the fused RLC path: after ``breaker_threshold``
+        *consecutive* fused-batch failures (exceptions or fused-check
+        mismatches forcing the exact fallback) the service stops attempting
+        fusion and verifies every request exactly for ``breaker_cooldown_ms``,
+        then lets one probe batch through (half-open); a successful probe
+        restores fusion.  Verdicts are identical in every state -- only the
+        work per batch changes.  See ``docs/reliability.md``.
+    ``shed_after_ms``
+        Deadline shedding: a request that has waited longer than this when
+        its batch is collected is rejected with
+        :class:`repro.errors.DeadlineExceededError` instead of being
+        verified -- by then the caller has usually timed out, and verifying
+        it anyway steals capacity from live requests.  ``None`` (default)
+        disables shedding.
     """
 
     max_batch: int = 8
@@ -78,6 +96,9 @@ class ServiceConfig:
     final_exp_mode: str = "cyclotomic"
     vk_cache_entries: int = 128
     retry_after_ms: float | None = None
+    breaker_threshold: int = 3
+    breaker_cooldown_ms: float = 1000.0
+    shed_after_ms: float | None = None
 
     def __post_init__(self):
         if isinstance(self.max_batch, bool) or not isinstance(self.max_batch, int) \
@@ -113,10 +134,36 @@ class ServiceConfig:
             raise ServiceError(
                 f"retry_after_ms must be None or a non-negative number, "
                 f"got {self.retry_after_ms!r}")
+        if isinstance(self.breaker_threshold, bool) \
+                or not isinstance(self.breaker_threshold, int) \
+                or self.breaker_threshold < 1:
+            raise ServiceError(
+                f"breaker_threshold must be a positive integer, "
+                f"got {self.breaker_threshold!r}")
+        if not isinstance(self.breaker_cooldown_ms, (int, float)) \
+                or isinstance(self.breaker_cooldown_ms, bool) \
+                or self.breaker_cooldown_ms < 0:
+            raise ServiceError(
+                f"breaker_cooldown_ms must be a non-negative number, "
+                f"got {self.breaker_cooldown_ms!r}")
+        if self.shed_after_ms is not None and (
+                not isinstance(self.shed_after_ms, (int, float))
+                or isinstance(self.shed_after_ms, bool) or self.shed_after_ms <= 0):
+            raise ServiceError(
+                f"shed_after_ms must be None or a positive number, "
+                f"got {self.shed_after_ms!r}")
 
     @property
     def deadline_s(self) -> float:
         return self.deadline_ms / 1e3
+
+    @property
+    def breaker_cooldown_s(self) -> float:
+        return self.breaker_cooldown_ms / 1e3
+
+    @property
+    def shed_after_s(self) -> float | None:
+        return None if self.shed_after_ms is None else self.shed_after_ms / 1e3
 
     @classmethod
     def from_env(cls, **overrides) -> "ServiceConfig":
@@ -148,6 +195,24 @@ class ServiceConfig:
         raw = os.environ.get(FUSE_ENV)
         if raw in FUSE_MODES:
             env["fuse"] = raw
+        raw = os.environ.get(BREAKER_THRESHOLD_ENV)
+        if raw is not None:
+            try:
+                env["breaker_threshold"] = int(raw)
+            except ValueError:
+                pass
+        raw = os.environ.get(BREAKER_COOLDOWN_ENV)
+        if raw is not None:
+            try:
+                env["breaker_cooldown_ms"] = float(raw)
+            except ValueError:
+                pass
+        raw = os.environ.get(SHED_AFTER_ENV)
+        if raw is not None:
+            try:
+                env["shed_after_ms"] = float(raw)
+            except ValueError:
+                pass
         env.update(overrides)
         return cls(**env)
 

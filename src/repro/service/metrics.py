@@ -59,6 +59,22 @@ class ServiceMetrics:
     depth_samples: list = field(default_factory=list)
     first_admit_t: float | None = None
     last_done_t: float | None = None
+    # -- reliability counters (see docs/reliability.md) ------------------------
+    #: Batches attempted on the fused RLC path.
+    fused_batches: int = 0
+    #: Fused attempts that failed (exception or fused-check mismatch) and fell
+    #: back to exact per-request verification.
+    fused_failures: int = 0
+    #: Batches verified exactly per-request because the breaker was open.
+    breaker_exact_batches: int = 0
+    #: Closed/half-open -> open breaker transitions.
+    breaker_trips: int = 0
+    #: Half-open probe batches admitted.
+    breaker_probes: int = 0
+    #: Requests shed for exceeding the shedding deadline.
+    shed: int = 0
+    #: Requests settled with an exception (malformed input, injected fault...).
+    failed_requests: int = 0
 
     # -- recording ---------------------------------------------------------------
     def record_admit(self, now: float) -> None:
@@ -82,6 +98,25 @@ class ServiceMetrics:
         self.last_done_t = now
         self.latencies_s.append(latency_s)
         self._trim(self.latencies_s)
+
+    def record_fused(self, ok: bool) -> None:
+        self.fused_batches += 1
+        if not ok:
+            self.fused_failures += 1
+
+    def record_breaker_exact(self) -> None:
+        self.breaker_exact_batches += 1
+
+    def record_shed(self, count: int = 1) -> None:
+        self.shed += count
+
+    def record_failed_request(self) -> None:
+        self.failed_requests += 1
+
+    def sync_breaker(self, breaker) -> None:
+        """Mirror the breaker's trip/probe totals into the snapshot source."""
+        self.breaker_trips = breaker.trips
+        self.breaker_probes = breaker.probes
 
     def _trim(self, samples: list) -> None:
         if len(samples) > self.max_samples:
@@ -124,4 +159,13 @@ class ServiceMetrics:
                 "p99": round(self.latency_percentile_ms(99), 3),
             },
             "sustained_vps": round(self.sustained_vps(), 2),
+            "reliability": {
+                "fused_batches": self.fused_batches,
+                "fused_failures": self.fused_failures,
+                "breaker_exact_batches": self.breaker_exact_batches,
+                "breaker_trips": self.breaker_trips,
+                "breaker_probes": self.breaker_probes,
+                "shed": self.shed,
+                "failed_requests": self.failed_requests,
+            },
         }

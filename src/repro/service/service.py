@@ -37,6 +37,16 @@ combination one: inputs crafted so their errors cancel *against the service's
 secret per-batch randomness* pass with probability at most
 ``(batch - 1) / r``.  ``fuse="none"`` disables fusion (exact per-request
 products inside the batch) for measurement or for the paranoid.
+
+Degrading gracefully
+--------------------
+A circuit breaker guards the fused path: ``breaker_threshold`` consecutive
+fused failures (exceptions or fused-check mismatches) trip it, and batches
+are verified exactly per-request for ``breaker_cooldown_ms`` before a
+half-open probe re-tests fusion.  ``shed_after_ms`` rejects requests that
+out-waited their useful lifetime, and shutdown settles every outstanding
+future (verdict or :class:`~repro.errors.ServiceError`) so callers never
+hang.  See ``docs/reliability.md``.
 """
 
 from __future__ import annotations
@@ -47,6 +57,8 @@ from concurrent.futures import ThreadPoolExecutor
 
 from repro.errors import ServiceError
 from repro.pairing.batch import multi_pairing
+from repro.reliability import faults as _faults
+from repro.reliability.breaker import CircuitBreaker
 from repro.service.batcher import DynamicBatcher
 from repro.service.config import ServiceConfig
 from repro.service.metrics import ServiceMetrics
@@ -93,6 +105,14 @@ class VerificationService:
             curve, max_entries=self.config.vk_cache_entries,
             use_naf=self.config.use_naf)
         self._rng = rng if rng is not None else random.SystemRandom()
+        #: Circuit breaker on the fused RLC path: repeated fused-batch
+        #: failures trip it and every batch is verified exactly per-request
+        #: until the cooldown expires and a half-open probe succeeds.
+        #: Verdicts are identical in every state; only cost per batch changes.
+        self.breaker = CircuitBreaker(
+            failure_threshold=self.config.breaker_threshold,
+            cooldown_s=self.config.breaker_cooldown_s,
+        )
         self._batcher = DynamicBatcher(
             self._flush,
             max_batch=self.config.max_batch,
@@ -100,6 +120,7 @@ class VerificationService:
             queue_bound=self.config.queue_bound,
             retry_after_s=None if self.config.retry_after_ms is None
             else self.config.retry_after_ms / 1e3,
+            shed_after_s=self.config.shed_after_s,
             metrics=self.metrics,
         )
         self._executor: ThreadPoolExecutor | None = None
@@ -174,21 +195,60 @@ class VerificationService:
             final_exp_mode=self.config.final_exp_mode,
         ).is_one()
 
+    def _verify_each(self, batch) -> list:
+        """Exact per-request verdicts; a failing request carries its exception.
+
+        Exceptions are returned *in place* (one slot per request) rather than
+        raised, so one malformed request poisons only its own future -- its
+        batch-mates still get their verdicts.  The batcher's settle step
+        counts the failures (it is the one place that sees every outcome).
+        """
+        results = []
+        for prepared in batch:
+            try:
+                results.append(self._product_is_one(prepared.pairs))
+            except Exception as exc:  # noqa: BLE001 - routed to the one caller
+                results.append(exc)
+        return results
+
     def _verify_batch(self, batch) -> list:
         """One batch, verified in the worker thread; one verdict per request."""
         if len(batch) == 1 or self.config.fuse == "none":
-            return [self._product_is_one(prepared.pairs) for prepared in batch]
-        # Random linear combination: scale each request's G1 points by a fresh
-        # secret coefficient (the first is 1 -- scaling every request is
-        # unnecessary for soundness) and fuse everything into one product.
-        coefficients = [1] + [self._rng.randrange(1, self.curve.r)
-                              for _ in batch[1:]]
-        fused = []
-        for coefficient, prepared in zip(coefficients, batch):
-            for P, Q in prepared.pairs:
-                fused.append((P if coefficient == 1 else P.scalar_mul(coefficient), Q))
-        if self._product_is_one(fused):
+            return self._verify_each(batch)
+        if not self.breaker.allow():
+            # Breaker open: fused attempts are suspended for the cooldown.
+            self.metrics.record_breaker_exact()
+            return self._verify_each(batch)
+        try:
+            if _faults.ACTIVE is not None:
+                _faults.ACTIVE.apply("service.verify_batch")
+            # Random linear combination: scale each request's G1 points by a
+            # fresh secret coefficient (the first is 1 -- scaling every
+            # request is unnecessary for soundness), fuse into one product.
+            coefficients = [1] + [self._rng.randrange(1, self.curve.r)
+                                  for _ in batch[1:]]
+            fused = []
+            for coefficient, prepared in zip(coefficients, batch):
+                for P, Q in prepared.pairs:
+                    fused.append(
+                        (P if coefficient == 1 else P.scalar_mul(coefficient), Q))
+            fused_ok = self._product_is_one(fused)
+        except Exception:  # noqa: BLE001 - fused path is optional, fall back
+            self.breaker.record_failure()
+            self.metrics.record_fused(ok=False)
+            self.metrics.sync_breaker(self.breaker)
+            return self._verify_each(batch)
+        if fused_ok:
+            self.breaker.record_success()
+            self.metrics.record_fused(ok=True)
+            self.metrics.sync_breaker(self.breaker)
             return [True] * len(batch)
         # The fused product failed: at least one request is invalid.  Attribute
         # exactly by re-verifying each request with the unbatched product.
-        return [self._product_is_one(prepared.pairs) for prepared in batch]
+        # This counts as a breaker failure too: a traffic mix that keeps
+        # failing fused checks pays fused work + fallback on every batch, and
+        # tripping to exact-only is the cheaper steady state.
+        self.breaker.record_failure()
+        self.metrics.record_fused(ok=False)
+        self.metrics.sync_breaker(self.breaker)
+        return self._verify_each(batch)

@@ -41,6 +41,20 @@ def _hermetic_disk_cache():
     reset_store_state()
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _hermetic_faults():
+    """Keep the suite hermetic w.r.t. fault injection.
+
+    A leaked ``FINESSE_FAULTS`` (e.g. from a chaos run in the same shell)
+    would corrupt unrelated tests; injection here is strictly opt-in via
+    ``configure_faults``, and tests that opt in clean up after themselves.
+    """
+    from repro.reliability.faults import FAULTS_ENV, configure_faults
+
+    os.environ.pop(FAULTS_ENV, None)
+    configure_faults(None)
+
+
 @pytest.fixture(scope="session")
 def rng():
     return random.Random(0xF1E55E)

@@ -1,0 +1,261 @@
+"""Service degradation paths: circuit breaker, shedding, shutdown settling.
+
+Verdict correctness is the invariant throughout: whatever state the breaker
+is in and whatever faults fire, every future the service resolves must carry
+the same verdict the unbatched exact check would produce -- degradation
+changes *cost*, never *answers*.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+
+import pytest
+
+from repro.errors import DeadlineExceededError, ServiceError, ServiceOverloadedError
+from repro.reliability import configure_faults
+from repro.reliability.breaker import CLOSED, OPEN
+from repro.reliability.faults import FaultPlan
+from repro.service import ServiceConfig, VerificationService
+from repro.service.config import (
+    BREAKER_COOLDOWN_ENV,
+    BREAKER_THRESHOLD_ENV,
+    SHED_AFTER_ENV,
+)
+from repro.service.workloads import make_bls_requests, make_groth16_requests
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    yield
+    configure_faults(None)
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+async def _verify_all(service, traffic):
+    futures = [service.submit(request) for request, _ in traffic]
+    return await asyncio.wait_for(
+        asyncio.gather(*futures, return_exceptions=True), timeout=60.0)
+
+
+# ---------------------------------------------------------------------------
+# Circuit breaker on the fused path
+# ---------------------------------------------------------------------------
+
+def test_breaker_trips_to_exact_with_correct_verdicts(toy_bn):
+    """Forged batches trip the breaker; exact mode still answers correctly."""
+    config = ServiceConfig(
+        max_batch=2, deadline_ms=30.0, breaker_threshold=2,
+        breaker_cooldown_ms=60_000.0)  # so the trip is observable, no probe
+    forged = make_bls_requests(toy_bn, 4, seed=1, forge_fraction=1.0)
+    mixed = (make_groth16_requests(toy_bn, 2, seed=2, forge_fraction=0.5)
+             + make_bls_requests(toy_bn, 2, seed=3))
+
+    async def scenario():
+        async with VerificationService(toy_bn, config,
+                                       rng=random.Random(5)) as service:
+            tripped = await _verify_all(service, forged)     # 2 fused failures
+            assert service.breaker.state == OPEN
+            after = await _verify_all(service, mixed)        # exact-only now
+            return tripped, after, service.metrics.snapshot()
+
+    tripped, after, snapshot = _run(scenario())
+    assert tripped == [False] * 4                   # attribution stayed exact
+    assert after == [expected for _, expected in mixed]
+    reliability = snapshot["reliability"]
+    assert reliability["breaker_trips"] == 1
+    assert reliability["fused_failures"] == 2
+    assert reliability["breaker_exact_batches"] >= 1
+    assert reliability["failed_requests"] == 0      # False is a verdict, not a failure
+
+
+def test_breaker_recovers_after_cooldown(toy_bn):
+    """An expired cooldown admits one probe; a clean batch re-closes fusion."""
+    config = ServiceConfig(
+        max_batch=2, deadline_ms=30.0, breaker_threshold=1,
+        breaker_cooldown_ms=1.0)
+    forged = make_bls_requests(toy_bn, 2, seed=7, forge_fraction=1.0)
+    valid = make_bls_requests(toy_bn, 2, seed=8)
+
+    async def scenario():
+        async with VerificationService(toy_bn, config,
+                                       rng=random.Random(5)) as service:
+            bad = await _verify_all(service, forged)
+            assert service.breaker.trips == 1
+            await asyncio.sleep(0.05)                # outlive the cooldown
+            good = await _verify_all(service, valid)  # the half-open probe
+            assert service.breaker.state == CLOSED
+            return bad, good, service.metrics.snapshot()
+
+    bad, good, snapshot = _run(scenario())
+    assert bad == [False] * 2
+    assert good == [True] * 2
+    reliability = snapshot["reliability"]
+    assert reliability["breaker_probes"] >= 1
+    assert reliability["fused_batches"] >= 1        # the probe batch fused OK
+
+
+def test_injected_fused_faults_fall_back_and_trip(toy_bn):
+    """Fused-path exceptions degrade to exact verification, then trip."""
+    configure_faults(FaultPlan.parse("service.verify_batch:error@1*2"))
+    config = ServiceConfig(
+        max_batch=2, deadline_ms=30.0, breaker_threshold=2,
+        breaker_cooldown_ms=60_000.0)
+    traffic = make_bls_requests(toy_bn, 6, seed=9)
+
+    async def scenario():
+        async with VerificationService(toy_bn, config,
+                                       rng=random.Random(5)) as service:
+            verdicts = await _verify_all(service, traffic)
+            return verdicts, service.breaker.state, service.metrics.snapshot()
+
+    verdicts, state, snapshot = _run(scenario())
+    assert verdicts == [True] * 6                   # faults never leaked out
+    assert state == OPEN
+    reliability = snapshot["reliability"]
+    assert reliability["fused_failures"] == 2
+    assert reliability["breaker_trips"] == 1
+    assert reliability["breaker_exact_batches"] == 1  # the third batch
+
+
+# ---------------------------------------------------------------------------
+# Deadline shedding
+# ---------------------------------------------------------------------------
+
+def test_stale_requests_are_shed_with_retry_hint(toy_bn):
+    # shed_after far below the batch deadline: by flush time every queued
+    # request has outlived its useful life and is rejected, not verified.
+    config = ServiceConfig(
+        max_batch=64, deadline_ms=80.0, shed_after_ms=1.0,
+        retry_after_ms=25.0)
+    traffic = make_bls_requests(toy_bn, 3, seed=10)
+
+    async def scenario():
+        async with VerificationService(toy_bn, config,
+                                       rng=random.Random(5)) as service:
+            results = await _verify_all(service, traffic)
+            return results, service.metrics.snapshot()
+
+    results, snapshot = _run(scenario())
+    for outcome in results:
+        assert isinstance(outcome, DeadlineExceededError)
+        assert isinstance(outcome, ServiceOverloadedError)  # same backoff contract
+        assert outcome.retry_after_s == pytest.approx(0.025)
+    assert snapshot["reliability"]["shed"] == 3
+    assert snapshot["reliability"]["failed_requests"] == 0  # shed != failed
+
+
+def test_shedding_off_by_default(toy_bn):
+    config = ServiceConfig(max_batch=4, deadline_ms=80.0)
+    assert config.shed_after_s is None
+    traffic = make_bls_requests(toy_bn, 2, seed=11)
+    verdicts = _run(_serve(toy_bn, config, traffic))
+    assert verdicts == [True] * 2
+
+
+async def _serve(curve, config, traffic):
+    async with VerificationService(curve, config,
+                                   rng=random.Random(5)) as service:
+        return await _verify_all(service, traffic)
+
+
+# ---------------------------------------------------------------------------
+# Shutdown settles every outstanding future
+# ---------------------------------------------------------------------------
+
+def test_stop_without_drain_settles_queued_futures(toy_bn):
+    """Satellite 2: callers never hang on an abandoned shutdown."""
+    config = ServiceConfig(max_batch=64, deadline_ms=5_000.0, queue_bound=64)
+    traffic = make_bls_requests(toy_bn, 4, seed=12)
+
+    async def scenario():
+        service = VerificationService(toy_bn, config, rng=random.Random(5))
+        await service.start()
+        futures = [service.submit(request) for request, _ in traffic]
+        await asyncio.sleep(0)                       # let the consumer take some
+        await service.stop(drain=False)
+        return await asyncio.wait_for(
+            asyncio.gather(*futures, return_exceptions=True), timeout=10.0)
+
+    outcomes = _run(scenario())
+    assert len(outcomes) == 4
+    for outcome in outcomes:
+        # Settled: a real verdict (the batch slipped in before the stop) or a
+        # ServiceError -- never a pending/cancelled future, never a hang.
+        assert isinstance(outcome, (bool, ServiceError))
+    assert any(isinstance(outcome, ServiceError) for outcome in outcomes)
+
+
+def test_stop_with_drain_still_answers(toy_bn):
+    config = ServiceConfig(max_batch=2, deadline_ms=10.0)
+    traffic = make_bls_requests(toy_bn, 2, seed=13)
+
+    async def scenario():
+        service = VerificationService(toy_bn, config, rng=random.Random(5))
+        await service.start()
+        futures = [service.submit(request) for request, _ in traffic]
+        await service.stop(drain=True)
+        return await asyncio.wait_for(asyncio.gather(*futures), timeout=30.0)
+
+    assert _run(scenario()) == [True] * 2
+
+
+def test_malformed_request_poisons_only_its_own_future(toy_bn):
+    """One bad batch-mate cannot take healthy requests down with it."""
+    config = ServiceConfig(max_batch=3, deadline_ms=50.0, fuse="none")
+    good = make_bls_requests(toy_bn, 2, seed=14)
+
+    async def scenario():
+        async with VerificationService(toy_bn, config,
+                                       rng=random.Random(5)) as service:
+            futures = [service.submit(request) for request, _ in good]
+            bad_pairs = [("not a point", "also not a point")]
+            poisoned = service._batcher.admit(
+                type("Prepared", (), {"pairs": bad_pairs})())
+            results = await asyncio.wait_for(
+                asyncio.gather(*futures, poisoned, return_exceptions=True),
+                timeout=60.0)
+            return results, service.metrics.snapshot()
+
+    results, snapshot = _run(scenario())
+    assert results[:2] == [True, True]
+    assert isinstance(results[2], Exception)
+    assert snapshot["reliability"]["failed_requests"] == 1
+
+
+# ---------------------------------------------------------------------------
+# Config knobs
+# ---------------------------------------------------------------------------
+
+def test_reliability_config_from_env(monkeypatch):
+    monkeypatch.setenv(BREAKER_THRESHOLD_ENV, "7")
+    monkeypatch.setenv(BREAKER_COOLDOWN_ENV, "250")
+    monkeypatch.setenv(SHED_AFTER_ENV, "40")
+    config = ServiceConfig.from_env()
+    assert config.breaker_threshold == 7
+    assert config.breaker_cooldown_ms == 250.0
+    assert config.breaker_cooldown_s == pytest.approx(0.25)
+    assert config.shed_after_ms == 40.0
+    assert config.shed_after_s == pytest.approx(0.040)
+    # Malformed values fall back to the defaults, like every other knob.
+    monkeypatch.setenv(BREAKER_THRESHOLD_ENV, "often")
+    monkeypatch.setenv(SHED_AFTER_ENV, "soon")
+    fallback = ServiceConfig.from_env()
+    assert fallback.breaker_threshold == 3
+    assert fallback.shed_after_ms is None
+
+
+@pytest.mark.parametrize("bad", [
+    {"breaker_threshold": 0},
+    {"breaker_threshold": True},
+    {"breaker_cooldown_ms": -1.0},
+    {"shed_after_ms": 0.0},
+    {"shed_after_ms": -5.0},
+])
+def test_reliability_config_rejects_degenerate_values(bad):
+    with pytest.raises(ServiceError):
+        ServiceConfig(**bad)
